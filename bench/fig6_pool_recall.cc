@@ -1,0 +1,55 @@
+// Reproduces Figure 6: recall of gold entity matches inside the candidate
+// pool as a function of the top-N cut-off of the schema-signature blocking
+// (Sect. 6.1). The paper sweeps N = 100..1000 on 100k-entity KGs; this
+// harness sweeps the proportional range at bench scale.
+//
+// Expected shape: recall grows with N and saturates; the D-Y analogue lags
+// the other datasets because its schema-poor second side makes signatures
+// less discriminating.
+
+#include <cstdio>
+
+#include "active/pool.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace daakg;
+  using namespace daakg::bench;
+  BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Figure 6: pool recall vs N (scale %.2f) ===\n", env.scale);
+
+  // Paper sweeps N = 100..1000 at 70k candidate entities (0.14%..1.4% of
+  // the candidate set). Small graphs need a slightly larger floor for the
+  // blocking to function at all, so sweep 1%..10% of the scaled candidate
+  // count — still far below exhaustive comparison.
+  std::vector<size_t> ns;
+  std::printf("%-8s", "Dataset");
+  for (int i = 1; i <= 10; ++i) {
+    ns.push_back(static_cast<size_t>(1400 * env.scale * i / 100) + 1);
+    std::printf(" N=%-5zu", ns.back());
+  }
+  std::printf("\n");
+
+  for (BenchmarkDataset dataset : AllDatasets()) {
+    AlignmentTask task = MakeTask(dataset, env);
+    DaakgConfig cfg = DaakgBenchConfig("transe", env);
+    DaakgAligner aligner(&task, cfg);
+    Rng rng(env.seed ^ 0x5EEDULL);
+    aligner.Train(task.SampleSeed(env.seed_fraction, &rng));
+    aligner.RefreshCaches();
+
+    std::printf("%-8s", task.name.c_str());
+    for (size_t n : ns) {
+      PoolConfig pool_cfg;
+      pool_cfg.top_n = n;
+      PoolGenerator gen(&task, aligner.joint(), pool_cfg);
+      double recall = gen.EntityPairRecall(gen.Generate());
+      std::printf(" %7.3f", recall);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper: >= 0.806 recall at N=1000 on D-W/EN-DE/EN-FR; "
+              "0.652-0.688 on D-Y.\n");
+  return 0;
+}

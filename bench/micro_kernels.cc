@@ -1,0 +1,168 @@
+// google-benchmark micro suites for the hot kernels of the library:
+// dense math, KG index lookups, similarity cache refresh and inference
+// power queries.
+
+#include <benchmark/benchmark.h>
+
+#include "align/joint_model.h"
+#include "embedding/trainer.h"
+#include "infer/alignment_graph.h"
+#include "infer/inference_power.h"
+#include "kg/synthetic.h"
+#include "tensor/matrix.h"
+
+namespace daakg {
+namespace {
+
+void BM_VectorDot(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  Vector a(dim), b(dim);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Dot(b));
+  }
+}
+BENCHMARK(BM_VectorDot)->Arg(32)->Arg(64)->Arg(256);
+
+void BM_MatrixVectorMultiply(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  Matrix m(dim, dim);
+  m.InitGaussian(&rng, 1.0f);
+  Vector x(dim);
+  x.InitGaussian(&rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Multiply(x));
+  }
+}
+BENCHMARK(BM_MatrixVectorMultiply)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Cosine(benchmark::State& state) {
+  Rng rng(3);
+  Vector a(64), b(64);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Cosine(a, b));
+  }
+}
+BENCHMARK(BM_Cosine);
+
+AlignmentTask& BenchTask() {
+  static AlignmentTask* task = [] {
+    SyntheticKgSpec spec;
+    spec.num_entities1 = 300;
+    spec.num_entities2 = 210;
+    spec.num_relations1 = 15;
+    spec.num_relations2 = 11;
+    spec.num_relation_matches = 8;
+    spec.num_classes1 = 8;
+    spec.num_classes2 = 6;
+    spec.num_class_matches = 5;
+    spec.seed = 3;
+    return new AlignmentTask(std::move(GenerateSyntheticTask(spec)).value());
+  }();
+  return *task;
+}
+
+void BM_KgNeighborScan(benchmark::State& state) {
+  const AlignmentTask& task = BenchTask();
+  size_t e = 0;
+  for (auto _ : state) {
+    size_t degree_sum = 0;
+    for (const auto& nb : task.kg1.Neighbors(
+             static_cast<EntityId>(e % task.kg1.num_entities()))) {
+      degree_sum += nb.tail;
+    }
+    benchmark::DoNotOptimize(degree_sum);
+    ++e;
+  }
+}
+BENCHMARK(BM_KgNeighborScan);
+
+void BM_KgHasTriplet(benchmark::State& state) {
+  const AlignmentTask& task = BenchTask();
+  const auto& trips = task.kg1.triplets();
+  size_t i = 0;
+  for (auto _ : state) {
+    const Triplet& t = trips[i % trips.size()];
+    benchmark::DoNotOptimize(task.kg1.HasTriplet(t.head, t.relation, t.tail));
+    ++i;
+  }
+}
+BENCHMARK(BM_KgHasTriplet);
+
+struct TrainedModels {
+  std::unique_ptr<KgeModel> m1, m2;
+  std::unique_ptr<JointAlignmentModel> joint;
+};
+
+TrainedModels& Models() {
+  static TrainedModels* models = [] {
+    auto* out = new TrainedModels();
+    KgeConfig kge;
+    kge.dim = 32;
+    kge.epochs = 5;
+    out->m1 = MakeKgeModel("transe", &BenchTask().kg1, kge);
+    out->m2 = MakeKgeModel("transe", &BenchTask().kg2, kge);
+    Rng rng(4);
+    out->m1->Init(&rng);
+    out->m2->Init(&rng);
+    JointAlignConfig cfg;
+    out->joint = std::make_unique<JointAlignmentModel>(
+        out->m1.get(), out->m2.get(), nullptr, nullptr, cfg);
+    out->joint->Init(&rng);
+    KgeTrainer t1(out->m1.get(), nullptr);
+    KgeTrainer t2(out->m2.get(), nullptr);
+    Rng r1(5), r2(6);
+    t1.Train(&r1);
+    t2.Train(&r2);
+    return out;
+  }();
+  return *models;
+}
+
+void BM_SimilarityCacheRefresh(benchmark::State& state) {
+  TrainedModels& models = Models();
+  for (auto _ : state) {
+    models.joint->RefreshCaches();
+  }
+}
+BENCHMARK(BM_SimilarityCacheRefresh)->Unit(benchmark::kMillisecond);
+
+void BM_InferencePowerQuery(benchmark::State& state) {
+  TrainedModels& models = Models();
+  models.joint->RefreshCaches();
+  // Pool: gold matches + schema pairs (small but realistic).
+  std::vector<ElementPair> pool;
+  for (const auto& [e1, e2] : BenchTask().gold_entities) {
+    pool.push_back(ElementPair{ElementKind::kEntity, e1, e2});
+  }
+  for (uint32_t r1 = 0; r1 < BenchTask().kg1.num_base_relations(); ++r1) {
+    for (uint32_t r2 = 0; r2 < BenchTask().kg2.num_base_relations(); ++r2) {
+      pool.push_back(ElementPair{ElementKind::kRelation, r1, r2});
+    }
+  }
+  static AlignmentGraph* graph = new AlignmentGraph(&BenchTask(), pool);
+  InferenceConfig icfg;
+  static InferenceEngine* engine =
+      new InferenceEngine(graph, models.joint.get(), icfg);
+  static bool precomputed = [] {
+    engine->PrecomputeEdgeCosts();
+    return true;
+  }();
+  (void)precomputed;
+  uint32_t q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine->PowerFrom(q % graph->num_nodes()));
+    ++q;
+  }
+}
+BENCHMARK(BM_InferencePowerQuery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace daakg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Reproduces Table 2: statistics of the four benchmark dataset analogues.
+// The paper samples 100k vs 70k entities from DBpedia/Wikidata/YAGO; this
+// harness generates structurally analogous synthetic pairs at
+// DAAKG_BENCH_SCALE (see DESIGN.md for the substitution rationale).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "kg/stats.h"
+
+int main() {
+  using namespace daakg;
+  using namespace daakg::bench;
+  BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Table 2: dataset statistics (scale %.2f) ===\n", env.scale);
+  std::printf("%-8s %10s %10s %9s %9s %8s %8s %9s %9s %8s %7s %7s\n",
+              "Dataset", "Ents1", "Ents2", "Rels1", "Rels2", "Cls1", "Cls2",
+              "Trips1", "Trips2", "EntM", "RelM", "ClsM");
+  for (BenchmarkDataset dataset : AllDatasets()) {
+    AlignmentTask task = MakeTask(dataset, env);
+    TaskStats s = ComputeTaskStats(task);
+    std::printf("%-8s %10zu %10zu %9zu %9zu %8zu %8zu %9zu %9zu %8zu %7zu %7zu\n",
+                s.name.c_str(), s.entities1, s.entities2, s.relations1,
+                s.relations2, s.classes1, s.classes2, s.triplets1, s.triplets2,
+                s.entity_matches, s.relation_matches, s.class_matches);
+  }
+  std::printf("\nPaper (full scale): 100,000 vs 70,000 entities per dataset; "
+              "70k entity matches;\nD-W 413/261 relations 167/116 classes; "
+              "D-Y 287/32 relations 13/9 classes;\nEN-DE 381/196 relations "
+              "109/76 classes; EN-FR 400/300 relations 174/121 classes.\n");
+  return 0;
+}

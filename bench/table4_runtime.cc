@@ -1,0 +1,83 @@
+// Reproduces Table 4 (run-time comparison) as a standalone summary. The
+// full per-method timings also appear as the last column of the Table 3 and
+// Table 5 benches; this binary reruns a representative subset so the
+// run-time table can be regenerated in isolation.
+//
+// Expected shape: PARIS and BERTMap run in (milli)seconds because they need
+// no embedding training; deep methods cost orders of magnitude more; within
+// DAAKG, semi-supervision dominates the cost (w/o semi-supervision is the
+// by-far fastest variant, as in the paper's Table 4).
+
+#include <cstdio>
+
+#include "baselines/bertmap_lite.h"
+#include "baselines/embedding_baseline.h"
+#include "baselines/paris.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace daakg;
+  using namespace daakg::bench;
+  BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Table 4: run-time comparison (seconds), scale %.2f ===\n",
+              env.scale);
+  std::printf("%-26s %8s %8s %8s %8s\n", "Method", "D-W", "D-Y", "EN-DE",
+              "EN-FR");
+
+  struct Row {
+    std::string name;
+    double secs[4];
+  };
+  std::vector<Row> rows;
+  auto row_of = [&rows](const std::string& name) -> Row& {
+    for (auto& r : rows) {
+      if (r.name == name) return r;
+    }
+    rows.push_back(Row{name, {0, 0, 0, 0}});
+    return rows.back();
+  };
+
+  int col = 0;
+  for (BenchmarkDataset dataset : AllDatasets()) {
+    AlignmentTask task = MakeTask(dataset, env);
+    Rng rng(env.seed ^ 0x5EEDULL);
+    SeedAlignment seed = task.SampleSeed(env.seed_fraction, &rng);
+
+    {
+      Paris paris(&task, ParisConfig());
+      row_of("PARIS").secs[col] = paris.Run(seed).train_seconds;
+    }
+    {
+      KgeConfig kge;
+      kge.dim = 32;
+      JointAlignConfig align;
+      align.align_epochs = 60;
+      EmbeddingBaselineConfig cfg;
+      cfg.name = "MTransE";
+      cfg.kge = kge;
+      cfg.align = align;
+      EmbeddingBaseline baseline(&task, cfg);
+      row_of("MTransE").secs[col] = baseline.Run(seed).train_seconds;
+    }
+    {
+      BertMapLite bertmap(&task, BertMapLiteConfig());
+      row_of("BERTMap").secs[col] = bertmap.Run(seed).train_seconds;
+    }
+    for (const char* model : {"transe", "rotate", "compgcn"}) {
+      DaakgConfig cfg = DaakgBenchConfig(model, env);
+      row_of(std::string("DAAKG (") + model + ")").secs[col] =
+          RunDaakg(task, cfg, env, model).train_seconds;
+      cfg.align.semi_rounds = 0;
+      row_of(std::string("  w/o semi (") + model + ")").secs[col] =
+          RunDaakg(task, cfg, env, model).train_seconds;
+    }
+    ++col;
+    std::fflush(stdout);
+  }
+
+  for (const Row& r : rows) {
+    std::printf("%-26s %8.2f %8.2f %8.2f %8.2f\n", r.name.c_str(), r.secs[0],
+                r.secs[1], r.secs[2], r.secs[3]);
+  }
+  return 0;
+}

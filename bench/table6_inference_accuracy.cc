@@ -1,0 +1,81 @@
+// Reproduces Table 6: accuracy of the inference power measurement — the
+// fraction of element pairs inferred with power > kappa (from the labeled
+// seed matches) that are true matches.
+//
+// Expected shape: accuracy is high for every model and highest for TransE,
+// whose tail-entity bounds are exact; the sampled bounds of RotatE and
+// CompGCN are looser (the paper reports TransE > RotatE > CompGCN).
+
+#include <cstdio>
+#include <unordered_map>
+
+#include "active/pool.h"
+#include "bench/bench_util.h"
+#include "infer/alignment_graph.h"
+#include "infer/inference_power.h"
+
+int main() {
+  using namespace daakg;
+  using namespace daakg::bench;
+  BenchEnv env = BenchEnv::FromEnv();
+  std::printf("=== Table 6: inference power accuracy (kappa = 0.8), "
+              "scale %.2f ===\n", env.scale);
+  std::printf("%-10s %8s %8s %8s %8s\n", "Model", "D-W", "D-Y", "EN-DE",
+              "EN-FR");
+
+  for (const char* model : {"transe", "rotate", "compgcn"}) {
+    std::printf("%-10s ", model);
+    for (BenchmarkDataset dataset : AllDatasets()) {
+      AlignmentTask task = MakeTask(dataset, env);
+      DaakgConfig cfg = DaakgBenchConfig(model, env);
+      DaakgAligner aligner(&task, cfg);
+      Rng rng(env.seed ^ 0x5EEDULL);
+      SeedAlignment seed = task.SampleSeed(env.seed_fraction, &rng);
+      aligner.Train(seed);
+      aligner.RefreshCaches();
+
+      PoolConfig pool_cfg;
+      pool_cfg.top_n = 15;
+      PoolGenerator gen(&task, aligner.joint(), pool_cfg);
+      std::vector<ElementPair> pool = gen.Generate();
+      AlignmentGraph graph(&task, pool);
+      InferenceConfig icfg = cfg.infer;
+      icfg.power_floor = icfg.kappa;  // only record pairs above kappa
+      InferenceEngine engine(&graph, aligner.joint(), icfg);
+      engine.PrecomputeEdgeCosts();
+
+      // Infer from every labeled seed match present in the pool; measure
+      // the precision of the inferred (power > kappa) pairs.
+      std::unordered_map<uint32_t, float> inferred;
+      auto infer_from = [&](const ElementPair& pair) {
+        uint32_t node = graph.IndexOf(pair);
+        if (node == kInvalidId) return;
+        for (const auto& [target, power] : engine.PowerFrom(node)) {
+          auto& slot = inferred[target];
+          slot = std::max(slot, power);
+        }
+      };
+      for (const auto& [e1, e2] : seed.entities) {
+        infer_from(ElementPair{ElementKind::kEntity, e1, e2});
+      }
+      for (const auto& [r1, r2] : seed.relations) {
+        infer_from(ElementPair{ElementKind::kRelation, r1, r2});
+      }
+
+      size_t correct = 0;
+      for (const auto& [node, power] : inferred) {
+        if (task.IsGoldMatch(pool[node])) ++correct;
+      }
+      const double accuracy =
+          inferred.empty()
+              ? 0.0
+              : static_cast<double>(correct) / static_cast<double>(inferred.size());
+      std::printf("%8.3f ", accuracy);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper: TransE 0.933-0.977, RotatE 0.824-0.957, "
+              "CompGCN 0.763-0.872.\n");
+  return 0;
+}

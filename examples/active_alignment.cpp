@@ -1,0 +1,67 @@
+// Active alignment demo: run the full DAAKG active-learning loop against a
+// gold oracle and compare the label efficiency of DAAKG's inference-power
+// batch selection (Algorithm 2) with random selection.
+//
+// Run: ./build/examples/active_alignment
+
+#include <cstdio>
+
+#include "core/active_loop.h"
+#include "kg/synthetic.h"
+
+using namespace daakg;  // NOLINT: example code favors brevity
+
+namespace {
+
+std::vector<ActiveRoundReport> RunLoop(const AlignmentTask& task,
+                                       SelectionStrategy* strategy) {
+  DaakgConfig config;
+  config.kge_model = "transe";
+  config.align.align_epochs = 60;  // trimmed: the loop retrains per batch
+  DaakgAligner aligner(&task, config);
+  GoldOracle oracle(&task);
+
+  ActiveLoopConfig loop_cfg;
+  loop_cfg.batch_size = 25;
+  loop_cfg.initial_seed_fraction = 0.05;
+  loop_cfg.report_fractions = {0.1, 0.2, 0.3};
+  loop_cfg.pool.top_n = 15;
+  ActiveAlignmentLoop loop(&task, &aligner, strategy, &oracle, loop_cfg);
+  auto reports = loop.Run();
+  std::printf("  strategy %-12s:", strategy->name().c_str());
+  for (const auto& r : reports) {
+    std::printf("  %2.0f%% labels -> H@1 %.3f (%zu queries)",
+                r.fraction * 100, r.eval.ent_rank.hits_at_1, r.labels_used);
+  }
+  std::printf("\n");
+  return reports;
+}
+
+}  // namespace
+
+int main() {
+  SyntheticKgSpec spec;
+  spec.name = "active-demo";
+  spec.num_entities1 = 300;
+  spec.num_entities2 = 210;
+  spec.num_relations1 = 16;
+  spec.num_relations2 = 12;
+  spec.num_relation_matches = 8;
+  spec.num_classes1 = 9;
+  spec.num_classes2 = 7;
+  spec.num_class_matches = 5;
+  spec.seed = 11;
+  AlignmentTask task = std::move(GenerateSyntheticTask(spec)).value();
+  std::printf("active alignment on %zu vs %zu entities "
+              "(%zu gold matches); oracle answers from gold.\n",
+              task.kg1.num_entities(), task.kg2.num_entities(),
+              task.gold_entities.size());
+
+  RandomStrategy random;
+  DaakgStrategy daakg(/*use_partitioning=*/true);
+  std::printf("random baseline:\n");
+  RunLoop(task, &random);
+  std::printf("DAAKG (inference-power batch selection, Algorithm 2):\n");
+  RunLoop(task, &daakg);
+  return 0;
+}

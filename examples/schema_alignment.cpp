@@ -1,0 +1,100 @@
+// Schema alignment demo: align the relations and classes of two KGs whose
+// schemata only partially overlap, inspect the two similarity branches
+// (embedding vs weighted mean embedding, Eqs. 7-9), and show how a labeled
+// relation match propagates inference power to entity pairs (Eq. 20).
+//
+// Run: ./build/examples/schema_alignment
+
+#include <cstdio>
+
+#include "active/pool.h"
+#include "core/daakg.h"
+#include "infer/alignment_graph.h"
+#include "infer/inference_power.h"
+#include "kg/synthetic.h"
+
+using namespace daakg;  // NOLINT: example code favors brevity
+
+int main() {
+  SyntheticKgSpec spec;
+  spec.name = "schema-demo";
+  spec.num_entities1 = 300;
+  spec.num_entities2 = 210;
+  spec.num_relations1 = 18;
+  spec.num_relations2 = 12;
+  spec.num_relation_matches = 8;   // 10 KG1 / 4 KG2 relations dangle
+  spec.num_classes1 = 9;
+  spec.num_classes2 = 7;
+  spec.num_class_matches = 5;
+  spec.seed = 23;
+  AlignmentTask task = std::move(GenerateSyntheticTask(spec)).value();
+
+  DaakgConfig config;
+  config.kge_model = "transe";
+  DaakgAligner aligner(&task, config);
+  Rng rng(1);
+  aligner.Train(task.SampleSeed(0.2, &rng));
+
+  // 1. Extracted schema alignment vs gold.
+  auto alignment = aligner.ExtractAlignment();
+  std::printf("relation matches (predicted vs gold %zu):\n",
+              task.gold_relations.size());
+  for (const auto& [r1, r2] : alignment.relations) {
+    std::printf("  %-24s <-> %-24s %s\n",
+                task.kg1.relation_name(r1).c_str(),
+                task.kg2.relation_name(r2).c_str(),
+                task.IsGoldRelationMatch(r1, r2) ? "[gold]" : "");
+  }
+  std::printf("class matches (predicted vs gold %zu):\n",
+              task.gold_classes.size());
+  for (const auto& [c1, c2] : alignment.classes) {
+    std::printf("  %-24s <-> %-24s %s\n", task.kg1.class_name(c1).c_str(),
+                task.kg2.class_name(c2).c_str(),
+                task.IsGoldClassMatch(c1, c2) ? "[gold]" : "");
+  }
+
+  // 2. Dangling relations get low weights (Eq. 25): show the extremes.
+  const JointAlignmentModel* joint = aligner.joint();
+  std::printf("\nrelation similarity extremes (row max of S(r, .)):\n");
+  for (RelationId r1 = 0; r1 < 4 && r1 < task.kg1.num_base_relations();
+       ++r1) {
+    float best = -1.0f;
+    RelationId arg = 0;
+    for (RelationId r2 = 0; r2 < task.kg2.num_base_relations(); ++r2) {
+      if (joint->relation_sim()(r1, r2) > best) {
+        best = joint->relation_sim()(r1, r2);
+        arg = r2;
+      }
+    }
+    std::printf("  %-24s best match %-24s sim %.3f%s\n",
+                task.kg1.relation_name(r1).c_str(),
+                task.kg2.relation_name(arg).c_str(), best,
+                task.GoldRelationMatchOf1(r1) == kInvalidId
+                    ? "  (dangling in gold)"
+                    : "");
+  }
+
+  // 3. Inference power from a labeled relation match to entity pairs.
+  PoolConfig pool_cfg;
+  pool_cfg.top_n = 10;
+  PoolGenerator gen(&task, joint, pool_cfg);
+  std::vector<ElementPair> pool = gen.Generate();
+  AlignmentGraph graph(&task, pool);
+  InferenceEngine engine(&graph, joint, config.infer);
+  engine.PrecomputeEdgeCosts();
+
+  const auto& [gr1, gr2] = task.gold_relations[0];
+  uint32_t rel_node = graph.IndexOf(ElementPair{ElementKind::kRelation,
+                                                gr1, gr2});
+  PowerRow reach = engine.PowerFrom(rel_node);
+  size_t correct = 0;
+  for (const auto& [node, power] : reach) {
+    if (task.IsGoldMatch(pool[node])) ++correct;
+  }
+  std::printf("\nlabeling relation match (%s, %s) infers %zu entity pairs "
+              "with power > %.2f; %zu of them are true matches.\n",
+              task.kg1.relation_name(gr1).c_str(),
+              task.kg2.relation_name(gr2).c_str(), reach.size(),
+              config.infer.power_floor, correct);
+  return 0;
+}

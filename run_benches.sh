@@ -1,0 +1,9 @@
+#!/bin/bash
+# Runs every reproduction bench in order, appending to bench_output.txt.
+cd /root/repo
+for b in table2_datasets table6_inference_accuracy fig6_pool_recall fig7_partitioning table3_deep_alignment table4_runtime table5_ablation fig5_active_learning micro_kernels; do
+  echo "===== $b ====="
+  ./build/bench/$b
+  echo
+done
+echo "ALL_BENCHES_DONE"

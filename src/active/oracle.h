@@ -1,0 +1,42 @@
+#ifndef DAAKG_ACTIVE_ORACLE_H_
+#define DAAKG_ACTIVE_ORACLE_H_
+
+#include "kg/alignment_task.h"
+#include "kg/ids.h"
+
+namespace daakg {
+
+// The human annotator abstraction of Sect. 2.1: returns the true label of
+// any element pair. Active-learning evaluation follows the standard
+// noise-free oracle assumption.
+class Oracle {
+ public:
+  virtual ~Oracle() = default;
+
+  // True iff the pair is a match (y*(q) = 1).
+  virtual bool Label(const ElementPair& pair) = 0;
+
+  // Number of Label() calls so far (the consumed labeling budget).
+  size_t queries() const { return queries_; }
+
+ protected:
+  size_t queries_ = 0;
+};
+
+// Oracle answering from the gold alignment of the task.
+class GoldOracle : public Oracle {
+ public:
+  explicit GoldOracle(const AlignmentTask* task) : task_(task) {}
+
+  bool Label(const ElementPair& pair) override {
+    ++queries_;
+    return task_->IsGoldMatch(pair);
+  }
+
+ private:
+  const AlignmentTask* task_;
+};
+
+}  // namespace daakg
+
+#endif  // DAAKG_ACTIVE_ORACLE_H_

@@ -1,0 +1,172 @@
+#include "active/pool.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace daakg {
+
+PoolGenerator::PoolGenerator(const AlignmentTask* task,
+                             const JointAlignmentModel* model,
+                             const PoolConfig& config)
+    : task_(task), model_(model), config_(config) {
+  DAAKG_CHECK(model->caches_ready());
+}
+
+Vector PoolGenerator::Signature(int side, EntityId e) const {
+  const KnowledgeGraph& kg = side == 1 ? task_->kg1 : task_->kg2;
+  const Matrix& rel_sim = model_->relation_sim();
+  const Matrix& cls_sim = model_->class_sim();
+  const size_t dim = model_->kg1_model()->dim();
+
+  // Relation half: weighted mean of rbar over incident base relations
+  // (Eq. 24 left), weights w_r = max similarity to the other side's
+  // relations (Eq. 25).
+  Vector rel_part(dim);
+  double rel_w = 0.0;
+  for (const auto& nb : kg.Neighbors(e)) {
+    RelationId r = nb.relation;
+    if (kg.IsReverseRelation(r)) r = kg.ReverseOf(r);
+    float w = -1.0f;
+    if (side == 1) {
+      const float* row = rel_sim.RowData(r);
+      for (size_t c = 0; c < rel_sim.cols(); ++c) w = std::max(w, row[c]);
+    } else {
+      for (size_t r1 = 0; r1 < rel_sim.rows(); ++r1) {
+        w = std::max(w, rel_sim(r1, r));
+      }
+    }
+    w = std::max(w, 0.0f);
+    if (w <= 0.0f) continue;
+    const Vector& mean =
+        side == 1 ? model_->RelationMean1(r) : model_->RelationMean2(r);
+    rel_part.Axpy(w, mean);
+    rel_w += w;
+  }
+  if (rel_w > 0.0) rel_part *= static_cast<float>(1.0 / rel_w);
+
+  // Class half (Eq. 24 right).
+  Vector cls_part(dim);
+  double cls_w = 0.0;
+  for (ClassId c : kg.ClassesOf(e)) {
+    float w = -1.0f;
+    if (side == 1) {
+      const float* row = cls_sim.RowData(c);
+      for (size_t j = 0; j < cls_sim.cols(); ++j) w = std::max(w, row[j]);
+    } else {
+      for (size_t c1 = 0; c1 < cls_sim.rows(); ++c1) {
+        w = std::max(w, cls_sim(c1, c));
+      }
+    }
+    w = std::max(w, 0.0f);
+    if (w <= 0.0f) continue;
+    const Vector& mean =
+        side == 1 ? model_->ClassMean1(c) : model_->ClassMean2(c);
+    cls_part.Axpy(w, mean);
+    cls_w += w;
+  }
+  if (cls_w > 0.0) cls_part *= static_cast<float>(1.0 / cls_w);
+
+  // Mean embeddings live in their own KG's entity space; map side 1 through
+  // A_ent (as every cross-KG comparison of means does, cf. Eqs. 7-9) so the
+  // two signatures are comparable. Mapping the weighted halves is
+  // equivalent to mapping each mean (linearity).
+  if (side == 1) {
+    rel_part = model_->a_ent().Multiply(rel_part);
+    cls_part = model_->a_ent().Multiply(cls_part);
+  }
+  return Concat(rel_part, cls_part);
+}
+
+std::vector<ElementPair> PoolGenerator::Generate() const {
+  const size_t n1 = task_->kg1.num_entities();
+  const size_t n2 = task_->kg2.num_entities();
+  const size_t n = std::min(config_.top_n, n2);
+
+  // Signatures (parallel); then unit-normalize for cosine via dot.
+  const size_t sig_dim = 2 * model_->kg1_model()->dim();
+  Matrix sig1(n1, sig_dim);
+  Matrix sig2(n2, sig_dim);
+  ThreadPool& pool = GlobalThreadPool();
+  pool.ParallelFor(n1, [this, &sig1](size_t e) {
+    Vector s = Signature(1, static_cast<EntityId>(e));
+    s.Normalize();
+    sig1.SetRow(e, s);
+  });
+  pool.ParallelFor(n2, [this, &sig2](size_t e) {
+    Vector s = Signature(2, static_cast<EntityId>(e));
+    s.Normalize();
+    sig2.SetRow(e, s);
+  });
+
+  // Top-N lists in both directions.
+  std::vector<std::vector<uint32_t>> top1(n1);  // per e1: top-N e2
+  std::vector<std::vector<float>> sim_rows(n1);
+  pool.ParallelFor(n1, [&](size_t r) {
+    std::vector<float> sims(n2);
+    const float* a = sig1.RowData(r);
+    for (size_t c = 0; c < n2; ++c) {
+      const float* b = sig2.RowData(c);
+      float acc = 0.0f;
+      for (size_t i = 0; i < sig_dim; ++i) acc += a[i] * b[i];
+      sims[c] = acc;
+    }
+    std::vector<size_t> top = TopKIndices(sims, n);
+    top1[r].assign(top.begin(), top.end());
+    sim_rows[r] = std::move(sims);
+  });
+
+  // Reverse direction from the same similarity values.
+  const size_t n_rev = std::min(config_.top_n, n1);
+  std::vector<std::unordered_set<uint32_t>> top2(n2);
+  {
+    std::vector<std::vector<float>> cols(n2, std::vector<float>(n1));
+    for (size_t r = 0; r < n1; ++r) {
+      for (size_t c = 0; c < n2; ++c) cols[c][r] = sim_rows[r][c];
+    }
+    pool.ParallelFor(n2, [&](size_t c) {
+      std::vector<size_t> top = TopKIndices(cols[c], n_rev);
+      top2[c].insert(top.begin(), top.end());
+    });
+  }
+
+  std::vector<ElementPair> out;
+  for (uint32_t e1 = 0; e1 < n1; ++e1) {
+    for (uint32_t e2 : top1[e1]) {
+      if (top2[e2].count(e1) > 0) {
+        out.push_back(ElementPair{ElementKind::kEntity, e1, e2});
+      }
+    }
+  }
+  for (uint32_t r1 = 0; r1 < task_->kg1.num_base_relations(); ++r1) {
+    for (uint32_t r2 = 0; r2 < task_->kg2.num_base_relations(); ++r2) {
+      out.push_back(ElementPair{ElementKind::kRelation, r1, r2});
+    }
+  }
+  for (uint32_t c1 = 0; c1 < task_->kg1.num_classes(); ++c1) {
+    for (uint32_t c2 = 0; c2 < task_->kg2.num_classes(); ++c2) {
+      out.push_back(ElementPair{ElementKind::kClass, c1, c2});
+    }
+  }
+  return out;
+}
+
+double PoolGenerator::EntityPairRecall(
+    const std::vector<ElementPair>& pool) const {
+  if (task_->gold_entities.empty()) return 0.0;
+  std::unordered_set<uint64_t> in_pool;
+  for (const ElementPair& p : pool) {
+    if (p.kind != ElementKind::kEntity) continue;
+    in_pool.insert((static_cast<uint64_t>(p.first) << 32) | p.second);
+  }
+  size_t hit = 0;
+  for (const auto& [e1, e2] : task_->gold_entities) {
+    if (in_pool.count((static_cast<uint64_t>(e1) << 32) | e2) > 0) ++hit;
+  }
+  return static_cast<double>(hit) /
+         static_cast<double>(task_->gold_entities.size());
+}
+
+}  // namespace daakg

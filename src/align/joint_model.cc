@@ -1,0 +1,778 @@
+#include "align/joint_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <tuple>
+
+#include "align/losses.h"
+#include "common/thread_pool.h"
+#include "tensor/ops.h"
+
+namespace daakg {
+namespace {
+constexpr float kNormEps = 1e-12f;
+}  // namespace
+
+JointAlignmentModel::JointAlignmentModel(KgeModel* model1, KgeModel* model2,
+                                         EntityClassModel* ec1,
+                                         EntityClassModel* ec2,
+                                         const JointAlignConfig& config)
+    : model1_(model1),
+      model2_(model2),
+      ec1_(ec1),
+      ec2_(ec2),
+      config_(config) {
+  DAAKG_CHECK_EQ(model1->dim(), model2->dim());
+  const size_t dim = model1->dim();
+  a_ent_ = Matrix(dim, dim);
+  a_rel_ = Matrix(dim, dim);
+  const size_t cdim =
+      ec1_ != nullptr ? ec1_->class_dim() : model1->config().class_dim;
+  a_cls_ = Matrix(cdim, cdim);
+}
+
+void JointAlignmentModel::Init(Rng* rng) {
+  // Identity + noise: similar embedding spaces start roughly aligned and
+  // training refines the map.
+  a_ent_.SetIdentity();
+  a_rel_.SetIdentity();
+  a_cls_.SetIdentity();
+  Matrix n1(a_ent_.rows(), a_ent_.cols());
+  n1.InitGaussian(rng, 0.01f);
+  a_ent_ += n1;
+  Matrix n2(a_rel_.rows(), a_rel_.cols());
+  n2.InitGaussian(rng, 0.01f);
+  a_rel_ += n2;
+  Matrix n3(a_cls_.rows(), a_cls_.cols());
+  n3.InitGaussian(rng, 0.01f);
+  a_cls_ += n3;
+}
+
+JointAlignmentModel::CosineGrad JointAlignmentModel::CosineWithGrad(
+    const Vector& mapped, const Vector& y) {
+  CosineGrad out;
+  const float nu = mapped.Norm() + kNormEps;
+  const float nv = y.Norm() + kNormEps;
+  const float dot = mapped.Dot(y);
+  out.sim = dot / (nu * nv);
+  out.d_mapped = y * (1.0f / (nu * nv)) - mapped * (out.sim / (nu * nu));
+  out.d_second = mapped * (1.0f / (nu * nv)) - y * (out.sim / (nv * nv));
+  return out;
+}
+
+float JointAlignmentModel::EntitySim(EntityId e1, EntityId e2) const {
+  Vector u = a_ent_.Multiply(model1_->EntityRepr(e1));
+  Vector v = model2_->EntityRepr(e2);
+  return Cosine(u, v);
+}
+
+float JointAlignmentModel::RelationSim(RelationId r1, RelationId r2) const {
+  Vector u = a_rel_.Multiply(model1_->RelationRepr(r1));
+  Vector v = model2_->RelationRepr(r2);
+  float sim = Cosine(u, v);
+  if (config_.use_mean_embeddings && caches_ready_) {
+    Vector mu = a_ent_.Multiply(rel_mean1_[r1]);
+    sim = std::max(sim, Cosine(mu, rel_mean2_[r2]));
+  }
+  return sim;
+}
+
+Vector JointAlignmentModel::ClassRepr(int side, ClassId c) const {
+  const EntityClassModel* ec = side == 1 ? ec1_ : ec2_;
+  if (ec == nullptr) return Vector();
+  return ec->ClassRepr(c);
+}
+
+float JointAlignmentModel::ClassSim(ClassId c1, ClassId c2) const {
+  float sim = -1.0f;
+  bool have_any = false;
+  if (ec1_ != nullptr && ec2_ != nullptr) {
+    Vector u = a_cls_.Multiply(ec1_->ClassRepr(c1));
+    sim = std::max(sim, Cosine(u, ec2_->ClassRepr(c2)));
+    have_any = true;
+  }
+  if ((config_.use_mean_embeddings || ec1_ == nullptr) && caches_ready_) {
+    Vector mu = a_ent_.Multiply(cls_mean1_[c1]);
+    sim = std::max(sim, Cosine(mu, cls_mean2_[c2]));
+    have_any = true;
+  }
+  return have_any ? sim : 0.0f;
+}
+
+float JointAlignmentModel::Sim(const ElementPair& pair) const {
+  switch (pair.kind) {
+    case ElementKind::kEntity:
+      return EntitySim(pair.first, pair.second);
+    case ElementKind::kRelation:
+      return RelationSim(pair.first, pair.second);
+    case ElementKind::kClass:
+      return ClassSim(pair.first, pair.second);
+  }
+  return 0.0f;
+}
+
+// --------------------------------------------------------------------------
+// Caches
+// --------------------------------------------------------------------------
+
+void JointAlignmentModel::ComputeEntitySimMatrix() {
+  const size_t n1 = kg1().num_entities();
+  const size_t n2 = kg2().num_entities();
+  const size_t dim = model1_->dim();
+  repr1_ = Matrix(n1, dim);
+  repr2_ = Matrix(n2, dim);
+  ThreadPool& pool = GlobalThreadPool();
+  pool.ParallelFor(n1, [this](size_t e) {
+    repr1_.SetRow(e, model1_->EntityRepr(static_cast<EntityId>(e)));
+  });
+  pool.ParallelFor(n2, [this](size_t e) {
+    repr2_.SetRow(e, model2_->EntityRepr(static_cast<EntityId>(e)));
+  });
+
+  // mapped1 = repr1 * A_ent^T, then unit-normalize both sides and take the
+  // dot products (cosines).
+  mapped1_ = Matrix(n1, dim);
+  pool.ParallelFor(n1, [this](size_t e) {
+    mapped1_.SetRow(e, a_ent_.Multiply(repr1_.Row(e)));
+  });
+
+  Matrix unit1 = mapped1_;
+  Matrix unit2 = repr2_;
+  auto normalize_rows = [](Matrix* m) {
+    for (size_t r = 0; r < m->rows(); ++r) {
+      float* row = m->RowData(r);
+      double sq = 0.0;
+      for (size_t c = 0; c < m->cols(); ++c) {
+        sq += static_cast<double>(row[c]) * row[c];
+      }
+      const float inv =
+          sq > 0.0 ? static_cast<float>(1.0 / std::sqrt(sq)) : 0.0f;
+      for (size_t c = 0; c < m->cols(); ++c) row[c] *= inv;
+    }
+  };
+  normalize_rows(&unit1);
+  normalize_rows(&unit2);
+
+  ent_sim_ = Matrix(n1, n2);
+  pool.ParallelFor(n1, [this, &unit1, &unit2, n2, dim](size_t r) {
+    const float* a = unit1.RowData(r);
+    float* out = ent_sim_.RowData(r);
+    for (size_t c = 0; c < n2; ++c) {
+      const float* b = unit2.RowData(c);
+      float acc = 0.0f;
+      for (size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
+      out[c] = acc;
+    }
+  });
+
+  // Entity weights (Eq. 6): best similarity in the other KG.
+  weight1_.assign(n1, -1.0f);
+  weight2_.assign(n2, -1.0f);
+  for (size_t r = 0; r < n1; ++r) {
+    const float* row = ent_sim_.RowData(r);
+    for (size_t c = 0; c < n2; ++c) {
+      weight1_[r] = std::max(weight1_[r], row[c]);
+      weight2_[c] = std::max(weight2_[c], row[c]);
+    }
+  }
+  // Clamp to [0, 1]: a best-match cosine below zero means "surely dangling".
+  for (auto& w : weight1_) w = std::max(w, 0.0f);
+  for (auto& w : weight2_) w = std::max(w, 0.0f);
+}
+
+void JointAlignmentModel::ComputeMeanEmbeddings() {
+  const size_t dim = model1_->dim();
+  auto relation_means = [dim](const KgeModel& model,
+                              const std::vector<float>& weights,
+                              std::vector<double>* wsums) {
+    const KnowledgeGraph& kg = model.kg();
+    std::vector<Vector> means(kg.num_base_relations(), Vector(dim));
+    wsums->assign(kg.num_base_relations(), 0.0);
+    for (size_t r = 0; r < kg.num_base_relations(); ++r) {
+      const auto& pairs = kg.TripletsOf(static_cast<RelationId>(r));
+      Vector acc(dim);
+      double total_w = 0.0;
+      for (const auto& [h, t] : pairs) {
+        const float w = std::min(weights[h], weights[t]);
+        if (w <= 0.0f) continue;
+        acc.Axpy(w, model.LocalOptimumRelation(h, t));
+        total_w += w;
+      }
+      if (total_w > 0.0) {
+        acc *= static_cast<float>(1.0 / total_w);
+      } else if (!pairs.empty()) {
+        // All incident entities look dangling; fall back to the unweighted
+        // mean so the vector is still informative.
+        for (const auto& [h, t] : pairs) {
+          acc += model.LocalOptimumRelation(h, t);
+        }
+        acc *= 1.0f / static_cast<float>(pairs.size());
+        total_w = static_cast<double>(pairs.size());
+      }
+      (*wsums)[r] = total_w;
+      means[r] = std::move(acc);
+    }
+    return means;
+  };
+  rel_mean1_ = relation_means(*model1_, weight1_, &rel_wsum1_);
+  rel_mean2_ = relation_means(*model2_, weight2_, &rel_wsum2_);
+
+  auto class_means = [dim](const KgeModel& model, const Matrix& reprs,
+                           const std::vector<float>& weights,
+                           std::vector<double>* wsums) {
+    const KnowledgeGraph& kg = model.kg();
+    std::vector<Vector> means(kg.num_classes(), Vector(dim));
+    wsums->assign(kg.num_classes(), 0.0);
+    for (size_t c = 0; c < kg.num_classes(); ++c) {
+      const auto& members = kg.EntitiesOf(static_cast<ClassId>(c));
+      Vector acc(dim);
+      double total_w = 0.0;
+      for (EntityId e : members) {
+        const float w = weights[e];
+        if (w <= 0.0f) continue;
+        acc.Axpy(w, reprs.Row(e));
+        total_w += w;
+      }
+      if (total_w > 0.0) {
+        acc *= static_cast<float>(1.0 / total_w);
+      } else if (!members.empty()) {
+        for (EntityId e : members) acc += reprs.Row(e);
+        acc *= 1.0f / static_cast<float>(members.size());
+        total_w = static_cast<double>(members.size());
+      }
+      (*wsums)[c] = total_w;
+      means[c] = std::move(acc);
+    }
+    return means;
+  };
+  cls_mean1_ = class_means(*model1_, repr1_, weight1_, &cls_wsum1_);
+  cls_mean2_ = class_means(*model2_, repr2_, weight2_, &cls_wsum2_);
+}
+
+void JointAlignmentModel::ComputeSchemaSimMatrices() {
+  const size_t m1 = kg1().num_base_relations();
+  const size_t m2 = kg2().num_base_relations();
+  rel_sim_ = Matrix(m1, m2);
+  for (size_t r1 = 0; r1 < m1; ++r1) {
+    Vector u = a_rel_.Multiply(model1_->RelationRepr(static_cast<RelationId>(r1)));
+    Vector mu = a_ent_.Multiply(rel_mean1_[r1]);
+    for (size_t r2 = 0; r2 < m2; ++r2) {
+      float sim = Cosine(u, model2_->RelationRepr(static_cast<RelationId>(r2)));
+      if (config_.use_mean_embeddings) {
+        sim = std::max(sim, Cosine(mu, rel_mean2_[r2]));
+      }
+      rel_sim_(r1, r2) = sim;
+    }
+  }
+
+  const size_t k1 = kg1().num_classes();
+  const size_t k2 = kg2().num_classes();
+  cls_sim_ = Matrix(k1, k2);
+  for (size_t c1 = 0; c1 < k1; ++c1) {
+    Vector u;
+    if (ec1_ != nullptr && ec2_ != nullptr) {
+      u = a_cls_.Multiply(ec1_->ClassRepr(static_cast<ClassId>(c1)));
+    }
+    Vector mu = a_ent_.Multiply(cls_mean1_[c1]);
+    for (size_t c2 = 0; c2 < k2; ++c2) {
+      float sim = -1.0f;
+      if (!u.empty()) {
+        sim = Cosine(u, ec2_->ClassRepr(static_cast<ClassId>(c2)));
+      }
+      if (config_.use_mean_embeddings || u.empty()) {
+        sim = std::max(sim, Cosine(mu, cls_mean2_[c2]));
+      }
+      cls_sim_(c1, c2) = sim;
+    }
+  }
+}
+
+void JointAlignmentModel::ComputeCalibrationDenominators() {
+  auto row_lse = [](const Matrix& sim, double z) {
+    std::vector<double> out(sim.rows());
+    GlobalThreadPool().ParallelFor(sim.rows(), [&sim, &out, z](size_t r) {
+      const float* row = sim.RowData(r);
+      double max_l = -1e30;
+      for (size_t c = 0; c < sim.cols(); ++c) {
+        max_l = std::max(max_l, static_cast<double>(row[c]) / z);
+      }
+      double acc = 0.0;
+      for (size_t c = 0; c < sim.cols(); ++c) {
+        acc += std::exp(static_cast<double>(row[c]) / z - max_l);
+      }
+      out[r] = max_l + std::log(acc);
+    });
+    return out;
+  };
+  auto col_lse = [](const Matrix& sim, double z) {
+    std::vector<double> max_l(sim.cols(), -1e30);
+    for (size_t r = 0; r < sim.rows(); ++r) {
+      const float* row = sim.RowData(r);
+      for (size_t c = 0; c < sim.cols(); ++c) {
+        max_l[c] = std::max(max_l[c], static_cast<double>(row[c]) / z);
+      }
+    }
+    std::vector<double> acc(sim.cols(), 0.0);
+    for (size_t r = 0; r < sim.rows(); ++r) {
+      const float* row = sim.RowData(r);
+      for (size_t c = 0; c < sim.cols(); ++c) {
+        acc[c] += std::exp(static_cast<double>(row[c]) / z - max_l[c]);
+      }
+    }
+    std::vector<double> out(sim.cols());
+    for (size_t c = 0; c < sim.cols(); ++c) out[c] = max_l[c] + std::log(acc[c]);
+    return out;
+  };
+  ent_row_lse_ = row_lse(ent_sim_, config_.z_ent);
+  ent_col_lse_ = col_lse(ent_sim_, config_.z_ent);
+  rel_row_lse_ = row_lse(rel_sim_, config_.z_rel);
+  rel_col_lse_ = col_lse(rel_sim_, config_.z_rel);
+  cls_row_lse_ = row_lse(cls_sim_, config_.z_cls);
+  cls_col_lse_ = col_lse(cls_sim_, config_.z_cls);
+}
+
+void JointAlignmentModel::RefreshCaches() {
+  ComputeEntitySimMatrix();
+  ComputeMeanEmbeddings();
+  caches_ready_ = true;  // schema sims below may consult mean embeddings
+  ComputeSchemaSimMatrices();
+  ComputeCalibrationDenominators();
+}
+
+Vector JointAlignmentModel::MappedEntityRepr1(EntityId e1) const {
+  return a_ent_.Multiply(model1_->EntityRepr(e1));
+}
+
+Vector JointAlignmentModel::EntityRepr2(EntityId e2) const {
+  return model2_->EntityRepr(e2);
+}
+
+Vector JointAlignmentModel::MappedRelationVec1(const Vector& v) const {
+  return a_rel_.Multiply(v);
+}
+
+double JointAlignmentModel::MatchProbability(const ElementPair& pair) const {
+  DAAKG_CHECK(caches_ready_);
+  const Matrix* sim = nullptr;
+  const std::vector<double>* row_lse = nullptr;
+  const std::vector<double>* col_lse = nullptr;
+  double z = 1.0;
+  switch (pair.kind) {
+    case ElementKind::kEntity:
+      sim = &ent_sim_;
+      row_lse = &ent_row_lse_;
+      col_lse = &ent_col_lse_;
+      z = config_.z_ent;
+      break;
+    case ElementKind::kRelation:
+      sim = &rel_sim_;
+      row_lse = &rel_row_lse_;
+      col_lse = &rel_col_lse_;
+      z = config_.z_rel;
+      break;
+    case ElementKind::kClass:
+      sim = &cls_sim_;
+      row_lse = &cls_row_lse_;
+      col_lse = &cls_col_lse_;
+      z = config_.z_cls;
+      break;
+  }
+  const double s = static_cast<double>((*sim)(pair.first, pair.second)) / z;
+  const double p_fwd = std::exp(s - (*row_lse)[pair.first]);
+  const double p_bwd = std::exp(s - (*col_lse)[pair.second]);
+  return std::min(p_fwd, p_bwd);  // Eq. 12
+}
+
+// --------------------------------------------------------------------------
+// Training
+// --------------------------------------------------------------------------
+
+double JointAlignmentModel::TrainEntityPair(EntityId e1, EntityId e2, Rng* rng,
+                                            bool focal, float lr) {
+  Vector x1 = model1_->EntityRepr(e1);
+  Vector u = a_ent_.Multiply(x1);
+  Vector v = model2_->EntityRepr(e2);
+  CosineGrad pos = CosineWithGrad(u, v);
+
+  // Negatives: corrupt either side of the match (the M~_ent of Eq. 5).
+  struct Neg {
+    EntityId n1;
+    EntityId n2;
+    CosineGrad grad;
+    Vector x1;  // repr of the (possibly corrupted) KG1 side
+  };
+  std::vector<Neg> negs;
+  std::vector<double> s_negs;
+  const int candidates = std::max(1, config_.hard_negative_candidates);
+  // Hard negatives are *picked* against the per-epoch mining snapshot
+  // (cheap, slightly stale); gradients are then computed fresh.
+  const bool snap = !mining_mapped1_.empty() && !mining_repr2_.empty();
+  for (int k = 0; k < config_.num_negatives; ++k) {
+    Neg neg;
+    if (rng->NextBernoulli(0.5)) {
+      neg.n1 = e1;
+      neg.x1 = x1;
+      float best_sim = -2.0f;
+      EntityId best = 0;
+      for (int c = 0; c < candidates; ++c) {
+        EntityId cand =
+            static_cast<EntityId>(rng->NextUint64(kg2().num_entities()));
+        if (cand == e2) continue;
+        const float s = snap ? Cosine(u, mining_repr2_.Row(cand))
+                             : Cosine(u, model2_->EntityRepr(cand));
+        if (s > best_sim) {
+          best_sim = s;
+          best = cand;
+        }
+      }
+      neg.n2 = best;
+      neg.grad = CosineWithGrad(u, model2_->EntityRepr(neg.n2));
+    } else {
+      neg.n2 = e2;
+      float best_sim = -2.0f;
+      EntityId best = 0;
+      for (int c = 0; c < candidates; ++c) {
+        EntityId cand =
+            static_cast<EntityId>(rng->NextUint64(kg1().num_entities()));
+        if (cand == e1) continue;
+        const float s =
+            snap ? Cosine(mining_mapped1_.Row(cand), v)
+                 : Cosine(a_ent_.Multiply(model1_->EntityRepr(cand)), v);
+        if (s > best_sim) {
+          best_sim = s;
+          best = cand;
+        }
+      }
+      neg.n1 = best;
+      neg.x1 = model1_->EntityRepr(neg.n1);
+      neg.grad = CosineWithGrad(a_ent_.Multiply(neg.x1), v);
+    }
+    s_negs.push_back(neg.grad.sim);
+    negs.push_back(std::move(neg));
+  }
+
+  ContrastiveGrad cg =
+      focal ? FocalContrastive(pos.sim, s_negs, config_.loss_sharpness,
+                               config_.focal_gamma)
+            : SoftmaxContrastive(pos.sim, s_negs, config_.loss_sharpness);
+
+  // Positive term.
+  auto apply_entity_grads = [this, lr](EntityId a, EntityId b,
+                                       const CosineGrad& g, const Vector& xa,
+                                       double coef) {
+    if (coef == 0.0) return;
+    const float c = static_cast<float>(coef);
+    // d loss / d A_ent += coef * d_mapped x_a^T.
+    a_ent_.AddOuter(-lr * c, g.d_mapped, xa);
+    if (config_.update_embeddings) {
+      Vector gx = a_ent_.TransposeMultiply(g.d_mapped);
+      gx *= c;
+      model1_->BackpropEntityRepr(a, gx, lr);
+      Vector gy = g.d_second * c;
+      model2_->BackpropEntityRepr(b, gy, lr);
+    }
+  };
+  apply_entity_grads(e1, e2, pos, x1, cg.d_pos);
+  for (size_t j = 0; j < negs.size(); ++j) {
+    apply_entity_grads(negs[j].n1, negs[j].n2, negs[j].grad, negs[j].x1,
+                       cg.d_negs[j]);
+  }
+
+  // Auxiliary L2 pull on the positive match (see JointAlignConfig).
+  if (config_.l2_pull_weight > 0.0f) {
+    const float w = config_.l2_pull_weight;
+    Vector diff = u - v;  // A x1 - x2
+    // d/dA = 2 w diff x1^T; d/dx1 = 2 w A^T diff; d/dx2 = -2 w diff.
+    a_ent_.AddOuter(-lr * 2.0f * w, diff, x1);
+    if (config_.update_embeddings) {
+      Vector gx = a_ent_.TransposeMultiply(diff);
+      gx *= 2.0f * w;
+      model1_->BackpropEntityRepr(e1, gx, lr);
+      Vector gy = diff * (-2.0f * w);
+      model2_->BackpropEntityRepr(e2, gy, lr);
+    }
+  }
+  return cg.loss;
+}
+
+double JointAlignmentModel::TrainRelationPair(RelationId r1, RelationId r2,
+                                              Rng* rng, bool focal, float lr) {
+  // Subgradient through the winning branch of the max() in S(r, r'). The
+  // mean-embedding branch treats the means as constants (they are rebuilt
+  // from entity embeddings at the next RefreshCaches()), so only the
+  // embedding branch receives parameter updates; when the mean branch wins
+  // the pair still shapes A_ent via its entity constituents.
+  Vector x1 = model1_->RelationRepr(r1);
+  Vector u = a_rel_.Multiply(x1);
+  Vector v = model2_->RelationRepr(r2);
+  CosineGrad pos = CosineWithGrad(u, v);
+
+  const size_t m2 = kg2().num_base_relations();
+  const size_t m1 = kg1().num_base_relations();
+  struct Neg {
+    RelationId n1;
+    RelationId n2;
+    CosineGrad grad;
+    Vector x1;
+  };
+  std::vector<Neg> negs;
+  std::vector<double> s_negs;
+  for (int k = 0; k < config_.num_negatives; ++k) {
+    Neg neg;
+    if (rng->NextBernoulli(0.5) || m1 < 2) {
+      neg.n1 = r1;
+      neg.n2 = static_cast<RelationId>(rng->NextUint64(m2));
+      neg.x1 = x1;
+      neg.grad = CosineWithGrad(u, model2_->RelationRepr(neg.n2));
+    } else {
+      neg.n1 = static_cast<RelationId>(rng->NextUint64(m1));
+      neg.n2 = r2;
+      neg.x1 = model1_->RelationRepr(neg.n1);
+      neg.grad = CosineWithGrad(a_rel_.Multiply(neg.x1), v);
+    }
+    s_negs.push_back(neg.grad.sim);
+    negs.push_back(std::move(neg));
+  }
+
+  ContrastiveGrad cg =
+      focal ? FocalContrastive(pos.sim, s_negs, config_.loss_sharpness,
+                               config_.focal_gamma)
+            : SoftmaxContrastive(pos.sim, s_negs, config_.loss_sharpness);
+
+  auto apply = [this, lr](RelationId a, RelationId b, const CosineGrad& g,
+                          const Vector& xa, double coef) {
+    if (coef == 0.0) return;
+    const float c = static_cast<float>(coef);
+    a_rel_.AddOuter(-lr * c, g.d_mapped, xa);
+    if (config_.update_embeddings) {
+      Vector gx = a_rel_.TransposeMultiply(g.d_mapped);
+      gx *= c;
+      model1_->BackpropRelationRepr(a, gx, lr);
+      Vector gy = g.d_second * c;
+      model2_->BackpropRelationRepr(b, gy, lr);
+    }
+  };
+  apply(r1, r2, pos, x1, cg.d_pos);
+  for (size_t j = 0; j < negs.size(); ++j) {
+    apply(negs[j].n1, negs[j].n2, negs[j].grad, negs[j].x1, cg.d_negs[j]);
+  }
+  return cg.loss;
+}
+
+double JointAlignmentModel::TrainClassPair(ClassId c1, ClassId c2, Rng* rng,
+                                           bool focal, float lr) {
+  if (ec1_ == nullptr || ec2_ == nullptr) return 0.0;
+  Vector x1 = ec1_->ClassRepr(c1);
+  Vector u = a_cls_.Multiply(x1);
+  Vector v = ec2_->ClassRepr(c2);
+  CosineGrad pos = CosineWithGrad(u, v);
+
+  const size_t k1 = kg1().num_classes();
+  const size_t k2 = kg2().num_classes();
+  struct Neg {
+    ClassId n1;
+    ClassId n2;
+    CosineGrad grad;
+    Vector x1;
+  };
+  std::vector<Neg> negs;
+  std::vector<double> s_negs;
+  for (int k = 0; k < config_.num_negatives; ++k) {
+    Neg neg;
+    if (rng->NextBernoulli(0.5) || k1 < 2) {
+      neg.n1 = c1;
+      neg.n2 = static_cast<ClassId>(rng->NextUint64(k2));
+      neg.x1 = x1;
+      neg.grad = CosineWithGrad(u, ec2_->ClassRepr(neg.n2));
+    } else {
+      neg.n1 = static_cast<ClassId>(rng->NextUint64(k1));
+      neg.n2 = c2;
+      neg.x1 = ec1_->ClassRepr(neg.n1);
+      neg.grad = CosineWithGrad(a_cls_.Multiply(neg.x1), v);
+    }
+    s_negs.push_back(neg.grad.sim);
+    negs.push_back(std::move(neg));
+  }
+
+  ContrastiveGrad cg =
+      focal ? FocalContrastive(pos.sim, s_negs, config_.loss_sharpness,
+                               config_.focal_gamma)
+            : SoftmaxContrastive(pos.sim, s_negs, config_.loss_sharpness);
+
+  auto apply = [this, lr](ClassId a, ClassId b, const CosineGrad& g,
+                          const Vector& xa, double coef) {
+    if (coef == 0.0) return;
+    const float c = static_cast<float>(coef);
+    a_cls_.AddOuter(-lr * c, g.d_mapped, xa);
+    if (config_.update_embeddings) {
+      Vector gx = a_cls_.TransposeMultiply(g.d_mapped);
+      gx *= c;
+      ec1_->BackpropClassRepr(a, gx, lr);
+      Vector gy = g.d_second * c;
+      ec2_->BackpropClassRepr(b, gy, lr);
+    }
+  };
+  apply(c1, c2, pos, x1, cg.d_pos);
+  for (size_t j = 0; j < negs.size(); ++j) {
+    apply(negs[j].n1, negs[j].n2, negs[j].grad, negs[j].x1, cg.d_negs[j]);
+  }
+  return cg.loss;
+}
+
+void JointAlignmentModel::RefreshMiningSnapshot() {
+  const size_t n1 = kg1().num_entities();
+  const size_t n2 = kg2().num_entities();
+  const size_t dim = model1_->dim();
+  if (mining_mapped1_.rows() != n1) mining_mapped1_ = Matrix(n1, dim);
+  if (mining_repr2_.rows() != n2) mining_repr2_ = Matrix(n2, dim);
+  ThreadPool& pool = GlobalThreadPool();
+  pool.ParallelFor(n1, [this](size_t e) {
+    mining_mapped1_.SetRow(
+        e, a_ent_.Multiply(model1_->EntityRepr(static_cast<EntityId>(e))));
+  });
+  pool.ParallelFor(n2, [this](size_t e) {
+    mining_repr2_.SetRow(e, model2_->EntityRepr(static_cast<EntityId>(e)));
+  });
+}
+
+double JointAlignmentModel::TrainEpoch(const SeedAlignment& seed, Rng* rng,
+                                       bool focal) {
+  caches_ready_ = false;  // parameters move; cached sims go stale
+  RefreshMiningSnapshot();
+  double total = 0.0;
+  size_t steps = 0;
+  const float lr = config_.align_lr;
+
+  std::vector<size_t> order(seed.entities.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  for (size_t i : order) {
+    total += TrainEntityPair(seed.entities[i].first, seed.entities[i].second,
+                             rng, focal, lr);
+    ++steps;
+  }
+  for (const auto& [r1, r2] : seed.relations) {
+    total += TrainRelationPair(r1, r2, rng, focal, lr);
+    ++steps;
+  }
+  for (const auto& [c1, c2] : seed.classes) {
+    total += TrainClassPair(c1, c2, rng, focal, lr);
+    ++steps;
+  }
+  return steps > 0 ? total / static_cast<double>(steps) : 0.0;
+}
+
+// --------------------------------------------------------------------------
+// Semi-supervision (Eq. 10)
+// --------------------------------------------------------------------------
+
+std::vector<std::pair<ElementPair, double>>
+JointAlignmentModel::MineSemiSupervision() const {
+  DAAKG_CHECK(caches_ready_);
+  std::vector<std::pair<ElementPair, double>> mined;
+
+  auto mine_matrix = [this, &mined](const Matrix& sim, ElementKind kind) {
+    // Candidates above tau, then greedy one-to-one conflict resolution
+    // ("we discard the pairs with lower similarity scores").
+    std::vector<std::tuple<float, uint32_t, uint32_t>> cands;
+    for (size_t r = 0; r < sim.rows(); ++r) {
+      const float* row = sim.RowData(r);
+      for (size_t c = 0; c < sim.cols(); ++c) {
+        if (row[c] > config_.tau) {
+          cands.emplace_back(row[c], static_cast<uint32_t>(r),
+                             static_cast<uint32_t>(c));
+        }
+      }
+    }
+    std::sort(cands.begin(), cands.end(), [](const auto& a, const auto& b) {
+      return std::get<0>(a) > std::get<0>(b);
+    });
+    std::vector<bool> used_r(sim.rows(), false);
+    std::vector<bool> used_c(sim.cols(), false);
+    for (const auto& [score, r, c] : cands) {
+      if (used_r[r] || used_c[c]) continue;
+      used_r[r] = true;
+      used_c[c] = true;
+      mined.push_back({ElementPair{kind, r, c}, static_cast<double>(score)});
+    }
+  };
+  mine_matrix(ent_sim_, ElementKind::kEntity);
+  mine_matrix(rel_sim_, ElementKind::kRelation);
+  mine_matrix(cls_sim_, ElementKind::kClass);
+  return mined;
+}
+
+void JointAlignmentModel::AscendPairSimilarity(const ElementPair& pair,
+                                               double weight, float lr) {
+  // O_semi = -S0 * S(x, x'): gradient descent on it ascends S with
+  // coefficient S0.
+  const float coef = static_cast<float>(-weight);
+  switch (pair.kind) {
+    case ElementKind::kEntity: {
+      Vector x1 = model1_->EntityRepr(pair.first);
+      Vector u = a_ent_.Multiply(x1);
+      Vector v = model2_->EntityRepr(pair.second);
+      CosineGrad g = CosineWithGrad(u, v);
+      a_ent_.AddOuter(-lr * coef, g.d_mapped, x1);
+      if (config_.update_embeddings) {
+        Vector gx = a_ent_.TransposeMultiply(g.d_mapped);
+        gx *= coef;
+        model1_->BackpropEntityRepr(pair.first, gx, lr);
+        Vector gy = g.d_second * coef;
+        model2_->BackpropEntityRepr(pair.second, gy, lr);
+      }
+      break;
+    }
+    case ElementKind::kRelation: {
+      Vector x1 = model1_->RelationRepr(pair.first);
+      Vector u = a_rel_.Multiply(x1);
+      Vector v = model2_->RelationRepr(pair.second);
+      CosineGrad g = CosineWithGrad(u, v);
+      a_rel_.AddOuter(-lr * coef, g.d_mapped, x1);
+      if (config_.update_embeddings) {
+        Vector gx = a_rel_.TransposeMultiply(g.d_mapped);
+        gx *= coef;
+        model1_->BackpropRelationRepr(pair.first, gx, lr);
+        Vector gy = g.d_second * coef;
+        model2_->BackpropRelationRepr(pair.second, gy, lr);
+      }
+      break;
+    }
+    case ElementKind::kClass: {
+      if (ec1_ == nullptr || ec2_ == nullptr) return;
+      Vector x1 = ec1_->ClassRepr(pair.first);
+      Vector u = a_cls_.Multiply(x1);
+      Vector v = ec2_->ClassRepr(pair.second);
+      CosineGrad g = CosineWithGrad(u, v);
+      a_cls_.AddOuter(-lr * coef, g.d_mapped, x1);
+      if (config_.update_embeddings) {
+        Vector gx = a_cls_.TransposeMultiply(g.d_mapped);
+        gx *= coef;
+        ec1_->BackpropClassRepr(pair.first, gx, lr);
+        Vector gy = g.d_second * coef;
+        ec2_->BackpropClassRepr(pair.second, gy, lr);
+      }
+      break;
+    }
+  }
+}
+
+double JointAlignmentModel::TrainSemiEpoch(
+    const std::vector<std::pair<ElementPair, double>>& semi, Rng* rng) {
+  caches_ready_ = false;
+  std::vector<size_t> order(semi.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  const float lr =
+      config_.align_lr * static_cast<float>(config_.semi_lr_scale);
+  double total = 0.0;
+  for (size_t i : order) {
+    const auto& [pair, s0] = semi[i];
+    AscendPairSimilarity(pair, s0, lr);
+    total += -s0 * Sim(pair);
+  }
+  return semi.empty() ? 0.0 : total / static_cast<double>(semi.size());
+}
+
+}  // namespace daakg

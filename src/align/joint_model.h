@@ -1,0 +1,212 @@
+#ifndef DAAKG_ALIGN_JOINT_MODEL_H_
+#define DAAKG_ALIGN_JOINT_MODEL_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "embedding/entity_class_model.h"
+#include "embedding/kge_model.h"
+#include "kg/alignment_task.h"
+#include "tensor/matrix.h"
+
+namespace daakg {
+
+// Hyper-parameters of the joint alignment model (Sect. 4.2).
+struct JointAlignConfig {
+  float align_lr = 0.05f;
+  // Joint training rounds: each round interleaves one KGE epoch per KG with
+  // `joint_epochs_per_round` alignment epochs, so the embedding spaces
+  // co-evolve with the mapping (Sect. 4.2's joint training).
+  int align_epochs = 150;
+  int joint_epochs_per_round = 3;
+  // Semi-supervision cadence: mining re-runs every `semi_every` rounds once
+  // a third of the rounds have elapsed.
+  int semi_every = 12;
+  int num_negatives = 10;      // negatives per labeled match
+  // Hard-negative mining (normalized hard sample mining of Dual-AMN):
+  // each negative is the most similar of this many uniform candidates.
+  // 1 = plain uniform sampling.
+  int hard_negative_candidates = 12;
+  double loss_sharpness = 10.0;  // cosine -> logit scale in Eqs. (5), (8)
+  // Weight of the auxiliary MTransE-style L2 pull ||A_ent e - e'||^2 on
+  // labeled entity matches. The contrastive loss shapes *directions*; the
+  // L2 term co-locates matches in absolute position, which is what lets
+  // rotation-based geometries (RotatE) propagate alignment to neighbors.
+  float l2_pull_weight = 0.3f;
+  double tau = 0.9;            // semi-supervision similarity threshold
+  int semi_rounds = 1;         // 0 disables semi-supervision (Table 5)
+  double semi_lr_scale = 0.5;  // semi terms get a reduced learning rate
+  double z_ent = 0.05;         // calibration temperatures (Sect. 7.1)
+  double z_rel = 0.1;
+  double z_cls = 0.1;
+  double focal_gamma = 2.0;    // focal-loss focus (fine-tuning)
+  bool use_mean_embeddings = true;   // Table 5 ablation switch
+  bool update_embeddings = true;     // backprop alignment loss into KGE
+  uint64_t seed = 29;
+};
+
+// The embedding-based joint alignment model (Fig. 3): learnable mapping
+// matrices A_ent / A_rel / A_cls plus the similarity functions
+//
+//   S(e, e') = cos(A_ent e, e')                                     (Eq. 4)
+//   S(r, r') = max(cos(A_rel r, r'), cos(A_ent rbar, rbar'))
+//   S(c, c') = max(cos(A_cls c, c'), cos(A_ent cbar, cbar'))
+//
+// with dangling-aware entity weights (Eq. 6), weighted relation mean
+// embeddings (Eq. 7) and class mean embeddings (Eq. 9).
+//
+// The model caches full similarity matrices after RefreshCaches(); the
+// cached matrices also drive probability calibration (Eqs. 11-12), pool
+// generation and semi-supervision mining.
+class JointAlignmentModel {
+ public:
+  // `ec1`/`ec2` may be null ("w/o class embeddings" ablation: class
+  // similarity then falls back to mean embeddings only). All pointees must
+  // outlive the model.
+  JointAlignmentModel(KgeModel* model1, KgeModel* model2,
+                      EntityClassModel* ec1, EntityClassModel* ec2,
+                      const JointAlignConfig& config);
+
+  void Init(Rng* rng);
+
+  const JointAlignConfig& config() const { return config_; }
+  const KnowledgeGraph& kg1() const { return model1_->kg(); }
+  const KnowledgeGraph& kg2() const { return model2_->kg(); }
+  const KgeModel* kg1_model() const { return model1_; }
+  const KgeModel* kg2_model() const { return model2_; }
+
+  // --- similarities (computed fresh from current parameters) -------------
+  float EntitySim(EntityId e1, EntityId e2) const;
+  float RelationSim(RelationId r1, RelationId r2) const;  // base relations
+  float ClassSim(ClassId c1, ClassId c2) const;
+  float Sim(const ElementPair& pair) const;
+
+  // --- caches -------------------------------------------------------------
+  // Recomputes representations, similarity matrices, entity weights
+  // (Eq. 6), relation/class mean embeddings (Eqs. 7, 9) and calibration
+  // denominators. Cost O(|E1| |E2| dim); parallelized.
+  void RefreshCaches();
+  bool caches_ready() const { return caches_ready_; }
+
+  const Matrix& entity_sim() const { return ent_sim_; }
+  const Matrix& relation_sim() const { return rel_sim_; }
+  const Matrix& class_sim() const { return cls_sim_; }
+
+  float EntityWeight1(EntityId e1) const { return weight1_[e1]; }
+  float EntityWeight2(EntityId e2) const { return weight2_[e2]; }
+
+  // Mapped / raw representations used by the inference-power module.
+  Vector MappedEntityRepr1(EntityId e1) const;
+  Vector EntityRepr2(EntityId e2) const;
+  Vector MappedRelationVec1(const Vector& r_vec_in_kg1_space) const;
+
+  const Matrix& a_ent() const { return a_ent_; }
+  const Matrix& a_rel() const { return a_rel_; }
+  const Matrix& a_cls() const { return a_cls_; }
+
+  // Weighted relation mean embedding rbar (Eq. 7) / class mean embedding
+  // cbar (Eq. 9); valid after RefreshCaches().
+  const Vector& RelationMean1(RelationId r) const { return rel_mean1_[r]; }
+  const Vector& RelationMean2(RelationId r) const { return rel_mean2_[r]; }
+  const Vector& ClassMean1(ClassId c) const { return cls_mean1_[c]; }
+  const Vector& ClassMean2(ClassId c) const { return cls_mean2_[c]; }
+
+  // Total weights behind the weighted means — the denominators of Eqs. (7)
+  // and (9); the gradient-based inference powers (Eqs. 21-22) need them.
+  double RelationMeanWeightSum1(RelationId r) const { return rel_wsum1_[r]; }
+  double RelationMeanWeightSum2(RelationId r) const { return rel_wsum2_[r]; }
+  double ClassMeanWeightSum1(ClassId c) const { return cls_wsum1_[c]; }
+  double ClassMeanWeightSum2(ClassId c) const { return cls_wsum2_[c]; }
+
+  // --- probability calibration (Eqs. 11-12) -------------------------------
+  // min(Pr[x'|x], Pr[x|x']) under temperature-scaled softmax over the
+  // cached similarity rows/columns.
+  double MatchProbability(const ElementPair& pair) const;
+
+  // --- training ------------------------------------------------------------
+  // One epoch of supervised alignment training over the seed matches
+  // (Eqs. 5, 8 and the class analogue). With `focal`, the focal-loss
+  // variant is used (fine-tuning). Returns the mean loss.
+  double TrainEpoch(const SeedAlignment& seed, Rng* rng, bool focal);
+
+  // Semi-supervision (Eq. 10): mines element pairs with cached similarity
+  // > tau, resolves one-to-one conflicts by score, and returns them with
+  // their soft labels S0.
+  std::vector<std::pair<ElementPair, double>> MineSemiSupervision() const;
+
+  // One epoch over mined semi-supervised pairs: ascends S0 * S(x, x').
+  double TrainSemiEpoch(
+      const std::vector<std::pair<ElementPair, double>>& semi, Rng* rng);
+
+ private:
+  struct CosineGrad {
+    float sim;
+    Vector d_mapped;  // d sim / d (A x)
+    Vector d_second;  // d sim / d y
+  };
+  static CosineGrad CosineWithGrad(const Vector& mapped, const Vector& y);
+
+  // Applies one contrastive step for an entity match; returns the loss.
+  double TrainEntityPair(EntityId e1, EntityId e2, Rng* rng, bool focal,
+                         float lr);
+  double TrainRelationPair(RelationId r1, RelationId r2, Rng* rng, bool focal,
+                           float lr);
+  double TrainClassPair(ClassId c1, ClassId c2, Rng* rng, bool focal,
+                        float lr);
+
+  // Gradient ascent on a single pair's similarity with weight `w` (the
+  // semi-supervised objective of Eq. 10).
+  void AscendPairSimilarity(const ElementPair& pair, double weight, float lr);
+
+  void ComputeEntitySimMatrix();
+  void ComputeMeanEmbeddings();
+  void ComputeSchemaSimMatrices();
+  void ComputeCalibrationDenominators();
+
+  // Class representation from the EC model, or empty if ec is null.
+  Vector ClassRepr(int side, ClassId c) const;
+
+  // Refreshes the per-epoch representation snapshot used only to *pick*
+  // hard negatives (exact gradients are still computed on fresh
+  // representations). Avoids re-encoding GNN entities per candidate.
+  void RefreshMiningSnapshot();
+
+  KgeModel* model1_;
+  KgeModel* model2_;
+  EntityClassModel* ec1_;
+  EntityClassModel* ec2_;
+  JointAlignConfig config_;
+
+  Matrix a_ent_;  // dim x dim
+  Matrix a_rel_;  // dim x dim
+  Matrix a_cls_;  // class_dim x class_dim
+
+  // Caches (valid while caches_ready_).
+  bool caches_ready_ = false;
+  Matrix repr1_;     // |E1| x dim
+  Matrix repr2_;     // |E2| x dim
+  Matrix mapped1_;   // |E1| x dim  (A_ent * repr1)
+  Matrix ent_sim_;   // |E1| x |E2| cosine
+  Matrix rel_sim_;   // base relations only
+  Matrix cls_sim_;
+  std::vector<float> weight1_;  // Eq. 6
+  std::vector<float> weight2_;
+  std::vector<Vector> rel_mean1_;  // Eq. 7, base relations
+  std::vector<Vector> rel_mean2_;
+  std::vector<Vector> cls_mean1_;  // Eq. 9
+  std::vector<Vector> cls_mean2_;
+  std::vector<double> rel_wsum1_, rel_wsum2_;
+  std::vector<double> cls_wsum1_, cls_wsum2_;
+  // Stale per-epoch snapshots for hard-negative mining.
+  Matrix mining_mapped1_;  // A_ent * repr1 at epoch start
+  Matrix mining_repr2_;
+  // Log-sum-exp denominators for Eq. 11, rows (1->2) and columns (2->1).
+  std::vector<double> ent_row_lse_, ent_col_lse_;
+  std::vector<double> rel_row_lse_, rel_col_lse_;
+  std::vector<double> cls_row_lse_, cls_col_lse_;
+};
+
+}  // namespace daakg
+
+#endif  // DAAKG_ALIGN_JOINT_MODEL_H_

@@ -1,0 +1,69 @@
+#include "align/losses.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daakg {
+namespace {
+constexpr double kTinyProb = 1e-12;
+}  // namespace
+
+ContrastiveGrad SoftmaxContrastive(double s_pos,
+                                   const std::vector<double>& s_negs,
+                                   double sharpness) {
+  ContrastiveGrad out;
+  out.d_negs.resize(s_negs.size());
+
+  // Stable softmax over {g*s_pos} u {g*s_neg_j}.
+  double max_logit = sharpness * s_pos;
+  for (double s : s_negs) max_logit = std::max(max_logit, sharpness * s);
+  const double e_pos = std::exp(sharpness * s_pos - max_logit);
+  double z = e_pos;
+  std::vector<double> e_negs(s_negs.size());
+  for (size_t j = 0; j < s_negs.size(); ++j) {
+    e_negs[j] = std::exp(sharpness * s_negs[j] - max_logit);
+    z += e_negs[j];
+  }
+  const double p = std::max(e_pos / z, kTinyProb);
+  out.p_pos = p;
+  out.loss = -std::log(p);
+  // dL/ds_pos = g (p - 1); dL/ds_neg_j = g p_j.
+  out.d_pos = sharpness * (p - 1.0);
+  for (size_t j = 0; j < s_negs.size(); ++j) {
+    out.d_negs[j] = sharpness * (e_negs[j] / z);
+  }
+  return out;
+}
+
+ContrastiveGrad FocalContrastive(double s_pos,
+                                 const std::vector<double>& s_negs,
+                                 double sharpness, double gamma) {
+  ContrastiveGrad base = SoftmaxContrastive(s_pos, s_negs, sharpness);
+  const double p = base.p_pos;
+  const double one_minus_p = std::max(1.0 - p, 0.0);
+  const double focal_weight = std::pow(one_minus_p, gamma);
+
+  ContrastiveGrad out;
+  out.p_pos = p;
+  out.loss = focal_weight * base.loss;
+
+  // L(p) = (1-p)^gamma * (-log p)
+  // dL/dp = -(1-p)^gamma / p + gamma (1-p)^(gamma-1) log p
+  const double log_p = std::log(std::max(p, kTinyProb));
+  double dL_dp = -focal_weight / std::max(p, kTinyProb);
+  if (one_minus_p > 0.0) {
+    dL_dp += gamma * std::pow(one_minus_p, gamma - 1.0) * log_p;
+  }
+  // dp/ds_pos = g p (1 - p); dp/ds_neg_j = -g p p_j, where p_j can be
+  // recovered from the base gradient: base.d_negs[j] = g p_j.
+  const double dp_dspos = sharpness * p * one_minus_p;
+  out.d_pos = dL_dp * dp_dspos;
+  out.d_negs.resize(s_negs.size());
+  for (size_t j = 0; j < s_negs.size(); ++j) {
+    const double p_j = base.d_negs[j] / sharpness;
+    out.d_negs[j] = dL_dp * (-sharpness * p * p_j);
+  }
+  return out;
+}
+
+}  // namespace daakg

@@ -1,0 +1,39 @@
+#ifndef DAAKG_ALIGN_LOSSES_H_
+#define DAAKG_ALIGN_LOSSES_H_
+
+#include <vector>
+
+namespace daakg {
+
+// Gradient helpers for the alignment losses (Eqs. 5, 8 and the focal-loss
+// fine-tuning variant of Sect. 4.2). Pure functions of similarity scores so
+// they are unit-testable against finite differences.
+
+// Result of one softmax-contrastive term: the loss value and dL/ds for the
+// positive score and each negative score.
+struct ContrastiveGrad {
+  double loss = 0.0;
+  double d_pos = 0.0;
+  std::vector<double> d_negs;
+  double p_pos = 0.0;  // model probability of the positive
+};
+
+// Softmax cross-entropy of the positive similarity against negatives:
+//   p = exp(g s_pos) / (exp(g s_pos) + sum_j exp(g s_neg_j)),
+//   L = -log p,
+// where g (`sharpness`) scales cosine similarities into logits. This is the
+// softmax(S(e,e'), S(e'',e''')) of Eq. (5).
+ContrastiveGrad SoftmaxContrastive(double s_pos,
+                                   const std::vector<double>& s_negs,
+                                   double sharpness);
+
+// Focal variant used during active-learning fine-tuning (Sect. 4.2):
+//   L = (1 - p)^gamma * (-log p),   gamma = 2 in the paper,
+// which up-weights pairs the model currently misclassifies.
+ContrastiveGrad FocalContrastive(double s_pos,
+                                 const std::vector<double>& s_negs,
+                                 double sharpness, double gamma);
+
+}  // namespace daakg
+
+#endif  // DAAKG_ALIGN_LOSSES_H_

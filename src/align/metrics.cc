@@ -1,0 +1,94 @@
+#include "align/metrics.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace daakg {
+
+RankingMetrics EvaluateRanking(
+    const Matrix& sim,
+    const std::vector<std::pair<uint32_t, uint32_t>>& test_pairs) {
+  RankingMetrics m;
+  for (const auto& [first, second] : test_pairs) {
+    DAAKG_CHECK_LT(first, sim.rows());
+    DAAKG_CHECK_LT(second, sim.cols());
+    const float* row = sim.RowData(first);
+    const float target = row[second];
+    size_t rank = 1;
+    for (size_t c = 0; c < sim.cols(); ++c) {
+      if (c != second && row[c] > target) ++rank;
+    }
+    if (rank == 1) m.hits_at_1 += 1.0;
+    if (rank <= 10) m.hits_at_10 += 1.0;
+    m.mrr += 1.0 / static_cast<double>(rank);
+    ++m.num_queries;
+  }
+  if (m.num_queries > 0) {
+    const double n = static_cast<double>(m.num_queries);
+    m.hits_at_1 /= n;
+    m.hits_at_10 /= n;
+    m.mrr /= n;
+  }
+  return m;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> GreedyOneToOneMatches(
+    const Matrix& sim, float threshold) {
+  // Collect candidate cells above threshold, sort descending, sweep.
+  std::vector<std::tuple<float, uint32_t, uint32_t>> cells;
+  for (size_t r = 0; r < sim.rows(); ++r) {
+    const float* row = sim.RowData(r);
+    for (size_t c = 0; c < sim.cols(); ++c) {
+      if (row[c] >= threshold) {
+        cells.emplace_back(row[c], static_cast<uint32_t>(r),
+                           static_cast<uint32_t>(c));
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
+    return std::get<0>(a) > std::get<0>(b);
+  });
+  std::vector<bool> used_row(sim.rows(), false);
+  std::vector<bool> used_col(sim.cols(), false);
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+  for (const auto& [score, r, c] : cells) {
+    (void)score;
+    if (used_row[r] || used_col[c]) continue;
+    used_row[r] = true;
+    used_col[c] = true;
+    matches.emplace_back(r, c);
+  }
+  return matches;
+}
+
+PrfMetrics EvaluateGreedyMatching(
+    const Matrix& sim,
+    const std::vector<std::pair<uint32_t, uint32_t>>& gold_pairs,
+    float threshold) {
+  auto predicted = GreedyOneToOneMatches(sim, threshold);
+  PrfMetrics m;
+  m.num_predicted = predicted.size();
+  std::vector<std::pair<uint32_t, uint32_t>> gold_sorted = gold_pairs;
+  std::sort(gold_sorted.begin(), gold_sorted.end());
+  for (const auto& p : predicted) {
+    if (std::binary_search(gold_sorted.begin(), gold_sorted.end(), p)) {
+      ++m.num_correct;
+    }
+  }
+  if (m.num_predicted > 0) {
+    m.precision = static_cast<double>(m.num_correct) /
+                  static_cast<double>(m.num_predicted);
+  }
+  if (!gold_pairs.empty()) {
+    m.recall = static_cast<double>(m.num_correct) /
+               static_cast<double>(gold_pairs.size());
+  }
+  if (m.precision + m.recall > 0.0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  return m;
+}
+
+}  // namespace daakg

@@ -1,0 +1,54 @@
+#ifndef DAAKG_ALIGN_METRICS_H_
+#define DAAKG_ALIGN_METRICS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace daakg {
+
+// Evaluation metrics of Sect. 7.1: H@k / MRR (ranking) and
+// precision / recall / F1 under the greedy one-to-one matching of [34].
+
+struct RankingMetrics {
+  double hits_at_1 = 0.0;
+  double hits_at_10 = 0.0;
+  double mrr = 0.0;
+  size_t num_queries = 0;
+};
+
+struct PrfMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t num_predicted = 0;
+  size_t num_correct = 0;
+};
+
+// `sim` is a full |X1| x |X2| similarity matrix; `test_pairs` hold gold
+// (first, second) index pairs. For each pair, the rank of `second` among
+// all columns of row `first` is measured (1-based, optimistic tie break
+// disabled: ties count as worse rank).
+RankingMetrics EvaluateRanking(
+    const Matrix& sim,
+    const std::vector<std::pair<uint32_t, uint32_t>>& test_pairs);
+
+// Greedy one-to-one matching: repeatedly takes the highest-similarity
+// unused (row, col) pair with similarity >= threshold, then scores the
+// predicted set against `gold_pairs` restricted to rows/cols that appear in
+// gold (so dangling elements don't inflate the denominator is NOT done --
+// the paper counts all predictions; we follow the paper).
+PrfMetrics EvaluateGreedyMatching(
+    const Matrix& sim,
+    const std::vector<std::pair<uint32_t, uint32_t>>& gold_pairs,
+    float threshold);
+
+// Convenience: the greedy one-to-one predicted pairs themselves.
+std::vector<std::pair<uint32_t, uint32_t>> GreedyOneToOneMatches(
+    const Matrix& sim, float threshold);
+
+}  // namespace daakg
+
+#endif  // DAAKG_ALIGN_METRICS_H_

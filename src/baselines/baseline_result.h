@@ -1,0 +1,20 @@
+#ifndef DAAKG_BASELINES_BASELINE_RESULT_H_
+#define DAAKG_BASELINES_BASELINE_RESULT_H_
+
+#include <string>
+
+#include "core/daakg.h"
+
+namespace daakg {
+
+// Scores plus wall-clock for one competitor: a Table 3 row group and the
+// matching Table 4 cell.
+struct BaselineResult {
+  std::string name;
+  EvalResult eval;
+  double train_seconds = 0.0;
+};
+
+}  // namespace daakg
+
+#endif  // DAAKG_BASELINES_BASELINE_RESULT_H_

@@ -1,0 +1,46 @@
+#include "common/file_util.h"
+
+#include <sys/stat.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace daakg {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open for reading: " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) return IoError("read failed: " + path);
+  return out.str();
+}
+
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return IoError("cannot open for reading: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  if (in.bad()) return IoError("read failed: " + path);
+  return lines;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return IoError("cannot open for writing: " + path);
+  out << content;
+  out.flush();
+  if (!out) return IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace daakg

@@ -1,0 +1,25 @@
+#ifndef DAAKG_COMMON_FILE_UTIL_H_
+#define DAAKG_COMMON_FILE_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace daakg {
+
+// Reads an entire file into a string.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+// Reads a text file and returns its lines (without trailing newlines).
+StatusOr<std::vector<std::string>> ReadLines(const std::string& path);
+
+// Writes `content` to `path`, replacing any existing file.
+Status WriteStringToFile(const std::string& path, const std::string& content);
+
+// True if a file (or directory) exists at `path`.
+bool FileExists(const std::string& path);
+
+}  // namespace daakg
+
+#endif  // DAAKG_COMMON_FILE_UTIL_H_

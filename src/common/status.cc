@@ -1,0 +1,64 @@
+#include "common/status.h"
+
+namespace daakg {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "Ok";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(StatusCode::kInvalidArgument, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(StatusCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(StatusCode::kAlreadyExists, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(StatusCode::kOutOfRange, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(StatusCode::kFailedPrecondition, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(StatusCode::kInternal, std::move(message));
+}
+Status IoError(std::string message) {
+  return Status(StatusCode::kIoError, std::move(message));
+}
+Status UnimplementedError(std::string message) {
+  return Status(StatusCode::kUnimplemented, std::move(message));
+}
+
+}  // namespace daakg

@@ -1,0 +1,41 @@
+#ifndef DAAKG_COMMON_STRING_UTIL_H_
+#define DAAKG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace daakg {
+
+// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char delim);
+
+// Joins `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view s);
+
+// True if `s` begins with `prefix`.
+bool StrStartsWith(std::string_view s, std::string_view prefix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Character-level n-gram Jaccard similarity in [0, 1]; used by lexical
+// baselines. n defaults to 2 (bigrams). Strings shorter than n are compared
+// for equality.
+double NgramJaccard(std::string_view a, std::string_view b, int n = 2);
+
+// Levenshtein edit distance (dynamic programming, O(|a||b|)).
+size_t EditDistance(std::string_view a, std::string_view b);
+
+// Normalized edit similarity: 1 - dist / max(|a|, |b|); 1.0 for two empty
+// strings.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace daakg
+
+#endif  // DAAKG_COMMON_STRING_UTIL_H_

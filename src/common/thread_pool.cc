@@ -1,0 +1,99 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace daakg {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    DAAKG_CHECK(!shutting_down_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ParallelForShards(n, [&fn](size_t /*shard*/, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForShards(
+    size_t n, const std::function<void(size_t, size_t, size_t)>& shard_fn) {
+  if (n == 0) return;
+  const size_t shards = std::min(n, num_threads());
+  if (shards <= 1) {
+    shard_fn(0, 0, n);
+    return;
+  }
+  const size_t chunk = (n + shards - 1) / shards;
+  // The calling thread runs shard 0 itself; workers take the rest. This
+  // keeps small loops cheap and avoids deadlock if ParallelFor is called
+  // from within a pool task.
+  for (size_t s = 1; s < shards; ++s) {
+    size_t begin = s * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    Submit([&shard_fn, s, begin, end] { shard_fn(s, begin, end); });
+  }
+  shard_fn(0, 0, std::min(chunk, n));
+  Wait();
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace daakg

@@ -1,0 +1,66 @@
+#ifndef DAAKG_COMMON_THREAD_POOL_H_
+#define DAAKG_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace daakg {
+
+// Fixed-size worker pool for data-parallel loops. Tasks are plain
+// std::function<void()>; Wait() blocks until the queue drains and all
+// in-flight tasks finish.
+//
+// Thread-safe for concurrent Submit from multiple producers.
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers (>= 1). Pass 0 to use the hardware
+  // concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has completed.
+  void Wait();
+
+  // Runs fn(i) for i in [0, n), partitioned into contiguous shards across
+  // the pool, and blocks until done. fn must be safe to call concurrently
+  // for distinct i. The calling thread also participates.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Like ParallelFor but hands each worker a contiguous [begin, end) range,
+  // letting callers hoist per-shard state. shard_fn(shard_index, begin, end).
+  void ParallelForShards(
+      size_t n,
+      const std::function<void(size_t, size_t, size_t)>& shard_fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+// Returns a lazily constructed process-wide pool sized to the hardware.
+ThreadPool& GlobalThreadPool();
+
+}  // namespace daakg
+
+#endif  // DAAKG_COMMON_THREAD_POOL_H_

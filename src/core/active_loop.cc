@@ -1,0 +1,151 @@
+#include "core/active_loop.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "infer/alignment_graph.h"
+
+namespace daakg {
+namespace {
+
+uint64_t PairKey(const ElementPair& p) {
+  return (static_cast<uint64_t>(p.kind) << 62) |
+         (static_cast<uint64_t>(p.first) << 31) | p.second;
+}
+
+}  // namespace
+
+ActiveAlignmentLoop::ActiveAlignmentLoop(const AlignmentTask* task,
+                                         DaakgAligner* aligner,
+                                         SelectionStrategy* strategy,
+                                         Oracle* oracle,
+                                         const ActiveLoopConfig& config)
+    : task_(task),
+      aligner_(aligner),
+      strategy_(strategy),
+      oracle_(oracle),
+      config_(config) {}
+
+std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
+  Rng rng(config_.seed);
+  std::vector<ActiveRoundReport> reports;
+  const size_t total_matches = task_->gold_entities.size() +
+                               task_->gold_relations.size() +
+                               task_->gold_classes.size();
+  DAAKG_CHECK_GT(total_matches, 0u);
+
+  // Jump-start seed (labeled "for free" by the same oracle budget).
+  SeedAlignment seed = task_->SampleSeed(config_.initial_seed_fraction, &rng);
+  size_t matches_found =
+      seed.entities.size() + seed.relations.size() + seed.classes.size();
+  size_t queries = matches_found;
+  std::unordered_set<uint64_t> labeled_keys;
+  for (const auto& [a, b] : seed.entities) {
+    labeled_keys.insert(PairKey(ElementPair{ElementKind::kEntity, a, b}));
+  }
+  for (const auto& [a, b] : seed.relations) {
+    labeled_keys.insert(PairKey(ElementPair{ElementKind::kRelation, a, b}));
+  }
+  for (const auto& [a, b] : seed.classes) {
+    labeled_keys.insert(PairKey(ElementPair{ElementKind::kClass, a, b}));
+  }
+
+  aligner_->Train(seed);
+
+  const double last_fraction = config_.report_fractions.empty()
+                                   ? 0.5
+                                   : config_.report_fractions.back();
+  const size_t target_matches = static_cast<size_t>(
+      last_fraction * static_cast<double>(total_matches));
+  size_t max_queries = config_.max_queries > 0
+                           ? config_.max_queries
+                           : 8 * std::max<size_t>(target_matches, 1);
+  size_t next_report = 0;
+
+  auto maybe_report = [&]() {
+    const double fraction = static_cast<double>(matches_found) /
+                            static_cast<double>(total_matches);
+    while (next_report < config_.report_fractions.size() &&
+           fraction >= config_.report_fractions[next_report]) {
+      ActiveRoundReport report;
+      report.fraction = config_.report_fractions[next_report];
+      report.labels_used = queries;
+      report.matches_found = matches_found;
+      report.eval = aligner_->Evaluate();
+      reports.push_back(std::move(report));
+      ++next_report;
+    }
+  };
+  maybe_report();
+
+  while (next_report < config_.report_fractions.size() &&
+         queries < max_queries) {
+    aligner_->RefreshCaches();
+
+    // Rebuild pool / graph / engine against the refreshed model.
+    PoolGenerator pool_gen(task_, aligner_->joint(), config_.pool);
+    std::vector<ElementPair> pool = pool_gen.Generate();
+    AlignmentGraph graph(task_, pool);
+    InferenceEngine engine(&graph, aligner_->joint(),
+                           aligner_->config().infer);
+    engine.PrecomputeEdgeCosts();
+
+    std::vector<bool> labeled(pool.size(), false);
+    size_t unlabeled = 0;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      labeled[i] = labeled_keys.count(PairKey(pool[i])) > 0;
+      if (!labeled[i]) ++unlabeled;
+    }
+    if (unlabeled == 0) {
+      LOG_WARNING << "active loop: pool exhausted with "
+                  << matches_found << " matches labeled";
+      break;
+    }
+
+    SelectionContext ctx{&engine, aligner_->joint(), &labeled};
+    std::vector<uint32_t> batch =
+        strategy_->SelectBatch(ctx, config_.batch_size, &rng);
+    if (batch.empty()) break;
+
+    SeedAlignment new_matches;
+    for (uint32_t q : batch) {
+      const ElementPair& pair = pool[q];
+      labeled_keys.insert(PairKey(pair));
+      ++queries;
+      if (!oracle_->Label(pair)) continue;
+      ++matches_found;
+      switch (pair.kind) {
+        case ElementKind::kEntity:
+          new_matches.entities.emplace_back(pair.first, pair.second);
+          break;
+        case ElementKind::kRelation:
+          new_matches.relations.emplace_back(pair.first, pair.second);
+          break;
+        case ElementKind::kClass:
+          new_matches.classes.emplace_back(pair.first, pair.second);
+          break;
+      }
+    }
+    if (!new_matches.entities.empty() || !new_matches.relations.empty() ||
+        !new_matches.classes.empty()) {
+      aligner_->FineTune(new_matches);
+    }
+    maybe_report();
+  }
+
+  // If the budget ran out before the last checkpoint, report the final
+  // state at the remaining checkpoints so every series has equal length.
+  while (next_report < config_.report_fractions.size()) {
+    ActiveRoundReport report;
+    report.fraction = config_.report_fractions[next_report];
+    report.labels_used = queries;
+    report.matches_found = matches_found;
+    report.eval = aligner_->Evaluate();
+    reports.push_back(std::move(report));
+    ++next_report;
+  }
+  return reports;
+}
+
+}  // namespace daakg

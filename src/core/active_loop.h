@@ -1,0 +1,61 @@
+#ifndef DAAKG_CORE_ACTIVE_LOOP_H_
+#define DAAKG_CORE_ACTIVE_LOOP_H_
+
+#include <memory>
+#include <vector>
+
+#include "active/oracle.h"
+#include "active/pool.h"
+#include "active/strategies.h"
+#include "core/daakg.h"
+
+namespace daakg {
+
+struct ActiveLoopConfig {
+  size_t batch_size = 50;  // B element pairs per oracle round
+  // Fraction of gold entity matches labeled before active learning starts
+  // (the jump-start seed); also counts toward the x-axis fractions.
+  double initial_seed_fraction = 0.05;
+  // Report checkpoints: evaluation is recorded when the labeled-match
+  // fraction crosses each value (Fig. 5's x-axis).
+  std::vector<double> report_fractions = {0.1, 0.2, 0.3, 0.4, 0.5};
+  // Hard cap on oracle queries (protects weak strategies that rarely hit
+  // matches from unbounded loops).
+  size_t max_queries = 0;  // 0 => 8x the matches needed for the last checkpoint
+  PoolConfig pool;
+  uint64_t seed = 97;
+};
+
+// One Fig. 5 measurement point.
+struct ActiveRoundReport {
+  double fraction = 0.0;     // labeled matches / gold matches
+  size_t labels_used = 0;    // oracle queries consumed so far
+  size_t matches_found = 0;  // labeled matches so far
+  EvalResult eval;
+};
+
+// Drives pool generation -> batch selection -> oracle labeling ->
+// fine-tuning until the last report checkpoint is reached (Sect. 2.2
+// workflow). The pool, alignment graph and inference engine are rebuilt
+// each round from the refreshed model.
+class ActiveAlignmentLoop {
+ public:
+  ActiveAlignmentLoop(const AlignmentTask* task, DaakgAligner* aligner,
+                      SelectionStrategy* strategy, Oracle* oracle,
+                      const ActiveLoopConfig& config);
+
+  // Runs the full loop (including initial seed + training) and returns the
+  // checkpoint reports in order.
+  std::vector<ActiveRoundReport> Run();
+
+ private:
+  const AlignmentTask* task_;
+  DaakgAligner* aligner_;
+  SelectionStrategy* strategy_;
+  Oracle* oracle_;
+  ActiveLoopConfig config_;
+};
+
+}  // namespace daakg
+
+#endif  // DAAKG_CORE_ACTIVE_LOOP_H_

@@ -1,0 +1,213 @@
+#include "core/daakg.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace daakg {
+namespace {
+
+// Appends `extra` to `base`, dropping duplicates.
+template <typename PairT>
+void MergePairs(std::vector<PairT>* base, const std::vector<PairT>& extra) {
+  std::unordered_set<uint64_t> seen;
+  for (const auto& [a, b] : *base) {
+    seen.insert((static_cast<uint64_t>(a) << 32) | b);
+  }
+  for (const auto& [a, b] : extra) {
+    if (seen.insert((static_cast<uint64_t>(a) << 32) | b).second) {
+      base->emplace_back(a, b);
+    }
+  }
+}
+
+template <typename PairT>
+std::vector<std::pair<uint32_t, uint32_t>> TestPairs(
+    const std::vector<PairT>& gold, const std::vector<PairT>& labeled) {
+  std::unordered_set<uint64_t> in_seed;
+  for (const auto& [a, b] : labeled) {
+    in_seed.insert((static_cast<uint64_t>(a) << 32) | b);
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> test;
+  for (const auto& [a, b] : gold) {
+    if (in_seed.count((static_cast<uint64_t>(a) << 32) | b) == 0) {
+      test.emplace_back(a, b);
+    }
+  }
+  if (test.empty()) {
+    // Tiny schemata can be fully labeled; fall back to all gold pairs so
+    // the metric remains defined.
+    for (const auto& [a, b] : gold) test.emplace_back(a, b);
+  }
+  return test;
+}
+
+}  // namespace
+
+DaakgAligner::DaakgAligner(const AlignmentTask* task,
+                           const DaakgConfig& config)
+    : task_(task), config_(config), rng_(config.seed) {
+  KgeConfig kge_cfg = config_.kge;
+  kge_cfg.seed = rng_.NextUint64();
+  model1_ = MakeKgeModel(config_.kge_model, &task->kg1, kge_cfg);
+  kge_cfg.seed = rng_.NextUint64();
+  model2_ = MakeKgeModel(config_.kge_model, &task->kg2, kge_cfg);
+  if (config_.use_class_embeddings) {
+    ec1_ = std::make_unique<EntityClassModel>(model1_.get(), config_.kge);
+    ec2_ = std::make_unique<EntityClassModel>(model2_.get(), config_.kge);
+  }
+  joint_ = std::make_unique<JointAlignmentModel>(
+      model1_.get(), model2_.get(), ec1_.get(), ec2_.get(), config_.align);
+
+  Rng init_rng = rng_.Fork();
+  model1_->Init(&init_rng);
+  model2_->Init(&init_rng);
+  if (ec1_ != nullptr) ec1_->Init(&init_rng);
+  if (ec2_ != nullptr) ec2_->Init(&init_rng);
+  joint_->Init(&init_rng);
+}
+
+void DaakgAligner::WarmStartKge() {
+  kge_rng1_ = rng_.Fork();
+  kge_rng2_ = rng_.Fork();
+  trainer1_ = std::make_unique<KgeTrainer>(model1_.get(), ec1_.get());
+  trainer2_ = std::make_unique<KgeTrainer>(model2_.get(), ec2_.get());
+  KgeTrainStats stats;
+  for (int e = 0; e < config_.kge.epochs; ++e) {
+    trainer1_->TrainEpoch(&kge_rng1_, &stats);
+    trainer2_->TrainEpoch(&kge_rng2_, &stats);
+  }
+  kge_trained_ = true;
+}
+
+void DaakgAligner::KgeEpoch() {
+  KgeTrainStats stats;
+  trainer1_->TrainEpoch(&kge_rng1_, &stats);
+  trainer2_->TrainEpoch(&kge_rng2_, &stats);
+}
+
+void DaakgAligner::JointRound(const SeedAlignment& train_set, bool focal) {
+  KgeEpoch();
+  Rng rng = rng_.Fork();
+  for (int k = 0; k < config_.align.joint_epochs_per_round; ++k) {
+    joint_->TrainEpoch(train_set, &rng, focal);
+  }
+  if (!semi_pairs_.empty()) {
+    joint_->TrainSemiEpoch(semi_pairs_, &rng);
+  }
+}
+
+void DaakgAligner::RefreshSemiSupervision() {
+  joint_->RefreshCaches();
+  semi_pairs_ = joint_->MineSemiSupervision();
+  // The confident subset also acts as pseudo-seeds for the contrastive
+  // loss (the bootstrapping of BootEA that Sect. 4.2 adopts). Conflicts
+  // were already resolved one-to-one during mining.
+  pseudo_seeds_ = SeedAlignment();
+  for (const auto& [pair, score] : semi_pairs_) {
+    if (score < config_.align.tau) continue;
+    switch (pair.kind) {
+      case ElementKind::kEntity:
+        pseudo_seeds_.entities.emplace_back(pair.first, pair.second);
+        break;
+      case ElementKind::kRelation:
+        pseudo_seeds_.relations.emplace_back(pair.first, pair.second);
+        break;
+      case ElementKind::kClass:
+        pseudo_seeds_.classes.emplace_back(pair.first, pair.second);
+        break;
+    }
+  }
+}
+
+void DaakgAligner::Train(const SeedAlignment& seed) {
+  MergePairs(&labeled_.entities, seed.entities);
+  MergePairs(&labeled_.relations, seed.relations);
+  MergePairs(&labeled_.classes, seed.classes);
+
+  if (!kge_trained_) WarmStartKge();
+
+  const int rounds = config_.align.align_epochs;
+  const bool semi_on = config_.align.semi_rounds > 0;
+  for (int round = 0; round < rounds; ++round) {
+    if (semi_on && round >= rounds / 3 &&
+        (round - rounds / 3) % config_.align.semi_every == 0) {
+      RefreshSemiSupervision();
+    }
+    SeedAlignment train_set;
+    train_set.entities = labeled_.entities;
+    train_set.relations = labeled_.relations;
+    train_set.classes = labeled_.classes;
+    MergePairs(&train_set.entities, pseudo_seeds_.entities);
+    MergePairs(&train_set.relations, pseudo_seeds_.relations);
+    MergePairs(&train_set.classes, pseudo_seeds_.classes);
+    JointRound(train_set, /*focal=*/false);
+  }
+  joint_->RefreshCaches();
+}
+
+void DaakgAligner::FineTune(const SeedAlignment& new_matches) {
+  MergePairs(&labeled_.entities, new_matches.entities);
+  MergePairs(&labeled_.relations, new_matches.relations);
+  MergePairs(&labeled_.classes, new_matches.classes);
+
+  // Focal-loss pass concentrated on the new labels (Sect. 4.2), then
+  // interleaved refresher rounds on everything labeled so far.
+  Rng rng = rng_.Fork();
+  for (int e = 0; e < config_.fine_tune_epochs; ++e) {
+    joint_->TrainEpoch(new_matches, &rng, /*focal=*/true);
+  }
+  if (config_.align.semi_rounds > 0) RefreshSemiSupervision();
+  for (int e = 0; e < std::max(1, config_.fine_tune_epochs / 2); ++e) {
+    SeedAlignment train_set;
+    train_set.entities = labeled_.entities;
+    train_set.relations = labeled_.relations;
+    train_set.classes = labeled_.classes;
+    MergePairs(&train_set.entities, pseudo_seeds_.entities);
+    MergePairs(&train_set.relations, pseudo_seeds_.relations);
+    MergePairs(&train_set.classes, pseudo_seeds_.classes);
+    JointRound(train_set, /*focal=*/false);
+  }
+  joint_->RefreshCaches();
+}
+
+EvalResult DaakgAligner::Evaluate() {
+  if (!joint_->caches_ready()) joint_->RefreshCaches();
+  EvalResult out;
+  auto ent_test = TestPairs(task_->gold_entities, labeled_.entities);
+  auto rel_test = TestPairs(task_->gold_relations, labeled_.relations);
+  auto cls_test = TestPairs(task_->gold_classes, labeled_.classes);
+
+  out.ent_rank = EvaluateRanking(joint_->entity_sim(), ent_test);
+  out.rel_rank = EvaluateRanking(joint_->relation_sim(), rel_test);
+  out.cls_rank = EvaluateRanking(joint_->class_sim(), cls_test);
+  out.ent_prf = EvaluateGreedyMatching(joint_->entity_sim(), ent_test,
+                                       config_.match_threshold);
+  out.rel_prf = EvaluateGreedyMatching(joint_->relation_sim(), rel_test,
+                                       config_.match_threshold);
+  out.cls_prf = EvaluateGreedyMatching(joint_->class_sim(), cls_test,
+                                       config_.match_threshold);
+  return out;
+}
+
+DaakgAligner::Alignment DaakgAligner::ExtractAlignment() {
+  if (!joint_->caches_ready()) joint_->RefreshCaches();
+  Alignment out;
+  for (const auto& [a, b] :
+       GreedyOneToOneMatches(joint_->entity_sim(), config_.match_threshold)) {
+    out.entities.emplace_back(a, b);
+  }
+  for (const auto& [a, b] : GreedyOneToOneMatches(joint_->relation_sim(),
+                                                  config_.match_threshold)) {
+    out.relations.emplace_back(a, b);
+  }
+  for (const auto& [a, b] :
+       GreedyOneToOneMatches(joint_->class_sim(), config_.match_threshold)) {
+    out.classes.emplace_back(a, b);
+  }
+  return out;
+}
+
+}  // namespace daakg

@@ -1,0 +1,100 @@
+#include "embedding/entity_class_model.h"
+
+#include <cmath>
+
+namespace daakg {
+namespace {
+constexpr float kEps = 1e-8f;
+}  // namespace
+
+EntityClassModel::EntityClassModel(KgeModel* kge, const KgeConfig& config)
+    : kge_(kge),
+      config_(config),
+      projection_(config.class_dim, config.dim),
+      scales_(kge->kg().num_classes(), config.class_dim),
+      centers_(kge->kg().num_classes(), config.class_dim) {}
+
+void EntityClassModel::Init(Rng* rng) {
+  projection_.InitXavier(rng);
+  scales_.Fill(1.0f);
+  // Small noise so classes start distinguishable.
+  Matrix noise(scales_.rows(), scales_.cols());
+  noise.InitGaussian(rng, 0.1f);
+  scales_ += noise;
+  centers_.InitGaussian(rng, 0.1f);
+}
+
+Vector EntityClassModel::Project(EntityId e) const {
+  return projection_.Multiply(kge_->EntityVec(e));
+}
+
+float EntityClassModel::Score(EntityId e, ClassId c) const {
+  Vector p = Project(e);
+  const float* w = scales_.RowData(c);
+  const float* b = centers_.RowData(c);
+  double sq = 0.0;
+  for (size_t i = 0; i < config_.class_dim; ++i) {
+    double z = static_cast<double>(w[i]) * p[i] - b[i];
+    sq += z * z;
+  }
+  return static_cast<float>(std::sqrt(sq));
+}
+
+float EntityClassModel::TrainPair(EntityId pos_entity, EntityId neg_entity,
+                                  ClassId c, float lr) {
+  Vector p_pos = Project(pos_entity);
+  Vector p_neg = Project(neg_entity);
+  float* w = scales_.RowData(c);
+  float* b = centers_.RowData(c);
+
+  Vector z_pos(config_.class_dim);
+  Vector z_neg(config_.class_dim);
+  double sq_pos = 0.0;
+  double sq_neg = 0.0;
+  for (size_t i = 0; i < config_.class_dim; ++i) {
+    z_pos[i] = w[i] * p_pos[i] - b[i];
+    z_neg[i] = w[i] * p_neg[i] - b[i];
+    sq_pos += static_cast<double>(z_pos[i]) * z_pos[i];
+    sq_neg += static_cast<double>(z_neg[i]) * z_neg[i];
+  }
+  const float f_pos = static_cast<float>(std::sqrt(sq_pos));
+  const float f_neg = static_cast<float>(std::sqrt(sq_neg));
+  const float loss = config_.margin_ec + f_pos - f_neg;
+  if (loss <= 0.0f) return 0.0f;
+
+  // Unit residuals u = z / f.
+  Vector u_pos = z_pos * (1.0f / (f_pos + kEps));
+  Vector u_neg = z_neg * (1.0f / (f_neg + kEps));
+
+  // Gradients of loss = f_pos - f_neg (+ margin).
+  //   d/d w_i = u_pos_i p_pos_i - u_neg_i p_neg_i
+  //   d/d b_i = -u_pos_i + u_neg_i
+  //   d/d p   = u (.) w       (then chain into projection and entity)
+  Vector gp_pos(config_.class_dim);
+  Vector gp_neg(config_.class_dim);
+  for (size_t i = 0; i < config_.class_dim; ++i) {
+    const float gw = u_pos[i] * p_pos[i] - u_neg[i] * p_neg[i];
+    const float gb = -u_pos[i] + u_neg[i];
+    gp_pos[i] = u_pos[i] * w[i];
+    gp_neg[i] = -u_neg[i] * w[i];
+    w[i] -= lr * gw;
+    b[i] -= lr * gb;
+  }
+
+  // Entity embeddings: d p / d e = P, so g_e = P^T g_p.
+  Vector ge_pos = projection_.TransposeMultiply(gp_pos);
+  Vector ge_neg = projection_.TransposeMultiply(gp_neg);
+  Vector base_pos = kge_->EntityVec(pos_entity);
+  Vector base_neg = kge_->EntityVec(neg_entity);
+  kge_->mutable_entities()->RowAxpy(pos_entity, -lr, ge_pos);
+  kge_->mutable_entities()->RowAxpy(neg_entity, -lr, ge_neg);
+
+  // Projection: d loss / d P = g_p e^T summed over both terms (bases
+  // snapshotted above).
+  projection_.AddOuter(-lr, gp_pos, base_pos);
+  projection_.AddOuter(-lr, gp_neg, base_neg);
+
+  return loss;
+}
+
+}  // namespace daakg

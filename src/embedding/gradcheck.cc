@@ -1,0 +1,36 @@
+#include "embedding/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daakg {
+
+Vector NumericalGradient(const std::function<float(const Vector&)>& f,
+                         const Vector& x, float eps) {
+  Vector grad(x.dim());
+  Vector probe = x;
+  for (size_t i = 0; i < x.dim(); ++i) {
+    const float orig = probe[i];
+    probe[i] = orig + eps;
+    const float f_plus = f(probe);
+    probe[i] = orig - eps;
+    const float f_minus = f(probe);
+    probe[i] = orig;
+    grad[i] = (f_plus - f_minus) / (2.0f * eps);
+  }
+  return grad;
+}
+
+float MaxRelativeError(const Vector& analytic, const Vector& numeric) {
+  float max_err = 0.0f;
+  float scale = 1.0f;
+  for (size_t i = 0; i < analytic.dim(); ++i) {
+    scale = std::max(scale, std::fabs(analytic[i]));
+  }
+  for (size_t i = 0; i < analytic.dim(); ++i) {
+    max_err = std::max(max_err, std::fabs(analytic[i] - numeric[i]));
+  }
+  return max_err / scale;
+}
+
+}  // namespace daakg

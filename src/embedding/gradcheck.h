@@ -1,0 +1,22 @@
+#ifndef DAAKG_EMBEDDING_GRADCHECK_H_
+#define DAAKG_EMBEDDING_GRADCHECK_H_
+
+#include <functional>
+
+#include "tensor/vector.h"
+
+namespace daakg {
+
+// Finite-difference gradient checking utilities used by the property tests
+// to validate every analytic gradient in the embedding stack.
+
+// Central-difference numerical gradient of `f` at `x`.
+Vector NumericalGradient(const std::function<float(const Vector&)>& f,
+                         const Vector& x, float eps = 1e-3f);
+
+// Max absolute elementwise difference, normalized by max(1, |a|_inf).
+float MaxRelativeError(const Vector& analytic, const Vector& numeric);
+
+}  // namespace daakg
+
+#endif  // DAAKG_EMBEDDING_GRADCHECK_H_

@@ -1,0 +1,81 @@
+#include "embedding/kge_model.h"
+
+#include "embedding/compgcn.h"
+#include "embedding/rotate.h"
+#include "embedding/transe.h"
+
+namespace daakg {
+
+KgeModel::KgeModel(const KnowledgeGraph* kg, const KgeConfig& config)
+    : kg_(kg), config_(config) {
+  DAAKG_CHECK(kg->finalized());
+  entities_ = Matrix(kg->num_entities(), config.dim);
+  relations_ = Matrix(kg->num_relations(), config.dim);
+}
+
+void KgeModel::Init(Rng* rng) {
+  entities_.InitXavier(rng);
+  relations_.InitXavier(rng);
+  NormalizeEntities();
+}
+
+Vector KgeModel::EntityRepr(EntityId e) const { return entities_.Row(e); }
+
+Vector KgeModel::RelationRepr(RelationId r) const { return relations_.Row(r); }
+
+void KgeModel::BackpropEntityRepr(EntityId e, const Vector& grad, float lr) {
+  entities_.RowAxpy(e, -lr, grad);
+}
+
+void KgeModel::BackpropRelationRepr(RelationId r, const Vector& grad,
+                                    float lr) {
+  relations_.RowAxpy(r, -lr, grad);
+}
+
+void KgeModel::NormalizeEntities() {
+  for (size_t e = 0; e < entities_.rows(); ++e) {
+    float* row = entities_.RowData(e);
+    double sq = 0.0;
+    for (size_t i = 0; i < entities_.cols(); ++i) {
+      sq += static_cast<double>(row[i]) * row[i];
+    }
+    double n = std::sqrt(sq);
+    if (n > 1.0) {
+      float inv = static_cast<float>(1.0 / n);
+      for (size_t i = 0; i < entities_.cols(); ++i) row[i] *= inv;
+    }
+  }
+}
+
+void KgeModel::NormalizeRelations() {
+  for (size_t r = 0; r < relations_.rows(); ++r) {
+    float* row = relations_.RowData(r);
+    double sq = 0.0;
+    for (size_t i = 0; i < relations_.cols(); ++i) {
+      sq += static_cast<double>(row[i]) * row[i];
+    }
+    const double n = std::sqrt(sq);
+    if (n > 2.0) {
+      const float inv = static_cast<float>(2.0 / n);
+      for (size_t i = 0; i < relations_.cols(); ++i) row[i] *= inv;
+    }
+  }
+}
+
+std::unique_ptr<KgeModel> MakeKgeModel(const std::string& model_name,
+                                       const KnowledgeGraph* kg,
+                                       const KgeConfig& config) {
+  if (model_name == "transe") {
+    return std::make_unique<TransE>(kg, config);
+  }
+  if (model_name == "rotate") {
+    return std::make_unique<RotatE>(kg, config);
+  }
+  if (model_name == "compgcn") {
+    return std::make_unique<CompGcn>(kg, config);
+  }
+  LOG_FATAL << "unknown KGE model: " << model_name;
+  return nullptr;
+}
+
+}  // namespace daakg

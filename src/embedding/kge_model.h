@@ -1,0 +1,133 @@
+#ifndef DAAKG_EMBEDDING_KGE_MODEL_H_
+#define DAAKG_EMBEDDING_KGE_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "kg/knowledge_graph.h"
+#include "tensor/matrix.h"
+#include "tensor/vector.h"
+
+namespace daakg {
+
+// Hyper-parameters shared by the entity-relation embedding models. Paper
+// defaults (Sect. 7.1), scaled-down dimensions for CPU training.
+struct KgeConfig {
+  size_t dim = 64;        // entity & relation embedding dimension
+  size_t class_dim = 16;  // entity-class subspace dimension (paper: 50)
+  float margin_er = 1.0f;  // lambda_er in Eq. (1)
+  float margin_ec = 1.0f;  // lambda_ec in Eq. (3)
+  float learning_rate = 0.05f;
+  int num_negatives = 4;   // corrupted tails per positive
+  int epochs = 20;  // warm-start epochs before joint training
+  uint64_t seed = 13;
+  // CompGCN only: neighbors sampled into the aggregation per entity.
+  size_t max_neighbors = 12;
+};
+
+// Base class of the entity-relation embedding models (TransE, RotatE,
+// CompGCN). Implements shared parameter storage (one row per entity /
+// relation); subclasses define the scoring geometry f_er and its analytic
+// gradients.
+//
+// Contract (paper Sect. 4.1): for a triplet (h, r, t) in the KG,
+// Score(h,r,t) ~ 0; for corrupted triplets, Score > 0. Scores are
+// non-negative distances.
+class KgeModel {
+ public:
+  KgeModel(const KnowledgeGraph* kg, const KgeConfig& config);
+  virtual ~KgeModel() = default;
+
+  KgeModel(const KgeModel&) = delete;
+  KgeModel& operator=(const KgeModel&) = delete;
+
+  virtual std::string name() const = 0;
+
+  const KnowledgeGraph& kg() const { return *kg_; }
+  const KgeConfig& config() const { return config_; }
+  size_t dim() const { return config_.dim; }
+
+  // Randomly initializes all parameters.
+  virtual void Init(Rng* rng);
+
+  // Distance-style score f_er(h, r, t) >= 0.
+  virtual float Score(EntityId head, RelationId relation,
+                      EntityId tail) const = 0;
+
+  // One SGD step on the margin-ranking pair: descends
+  //   |margin + f(pos) - f(pos with corrupted tail)|_+        (Eq. 1)
+  // and returns the pre-step loss value.
+  virtual float TrainPair(const Triplet& pos, EntityId negative_tail,
+                          float lr) = 0;
+
+  // Hook called by the trainer at every epoch start (CompGCN refreshes its
+  // neighborhood aggregation here).
+  virtual void OnEpochStart() {}
+
+  // Representation of an entity used by the alignment model. For geometric
+  // models this is the base embedding; CompGCN returns the GNN-encoded
+  // vector.
+  virtual Vector EntityRepr(EntityId e) const;
+
+  // Representation of a relation used by the alignment model.
+  virtual Vector RelationRepr(RelationId r) const;
+
+  // Chain-rule hooks for gradients arriving at the alignment-facing
+  // representations (EntityRepr / RelationRepr): apply one SGD step to the
+  // underlying parameters. Defaults update the base embedding rows
+  // directly; CompGCN routes entity gradients through W_self, RotatE routes
+  // relation gradients through the (cos, sin) parameterization.
+  virtual void BackpropEntityRepr(EntityId e, const Vector& grad, float lr);
+  virtual void BackpropRelationRepr(RelationId r, const Vector& grad,
+                                    float lr);
+
+  // The local-optimum relation vector for an edge (h, ?, t): the r~
+  // minimizing f_er(h, r, t) over r, expressed in entity space (Eq. 7 uses
+  // a weighted mean of these).
+  virtual Vector LocalOptimumRelation(EntityId head, EntityId tail) const = 0;
+
+  // Estimates the difference vector r~ and error bound d of Eqs. (13)-(14)
+  // for the edge (head, relation, tail): the tail embedding satisfies
+  // ||t - (h + r~)|| <= d. For exact-geometry models (TransE) d == 0; deep
+  // models sample `num_samples` SGD solutions (Eq. 14).
+  virtual void EstimateEdgeBound(EntityId head, RelationId relation,
+                                 EntityId tail, int num_samples, Rng* rng,
+                                 Vector* r_tilde, float* d) const = 0;
+
+  // --- raw parameter access (used by the entity-class model and the
+  // --- alignment model, which co-train entity embeddings) ---------------
+  const Matrix& entities() const { return entities_; }
+  Matrix* mutable_entities() { return &entities_; }
+  const Matrix& relations() const { return relations_; }
+  Matrix* mutable_relations() { return &relations_; }
+
+  Vector EntityVec(EntityId e) const { return entities_.Row(e); }
+  Vector RelationVec(RelationId r) const { return relations_.Row(r); }
+
+  // Renormalizes entity embeddings onto the unit ball (called by the
+  // trainer between epochs; standard for translational models).
+  void NormalizeEntities();
+
+  // Bounds relation parameters between epochs. Margin-ranking losses
+  // otherwise inflate relation norms (a larger ||r|| widens the pos/neg
+  // score gap for free), which wrecks the geometric bounds of Sect. 5.
+  // Default: clip relation rows to norm <= 2 (the diameter of the entity
+  // ball); RotatE instead wraps its phases into [-pi, pi].
+  virtual void NormalizeRelations();
+
+ protected:
+  const KnowledgeGraph* kg_;
+  KgeConfig config_;
+  Matrix entities_;   // num_entities x dim
+  Matrix relations_;  // num_relations x dim (incl. reverse relations)
+};
+
+// Factory by model name: "transe", "rotate", "compgcn".
+std::unique_ptr<KgeModel> MakeKgeModel(const std::string& model_name,
+                                       const KnowledgeGraph* kg,
+                                       const KgeConfig& config);
+
+}  // namespace daakg
+
+#endif  // DAAKG_EMBEDDING_KGE_MODEL_H_

@@ -1,0 +1,30 @@
+#include "embedding/negative_sampler.h"
+
+namespace daakg {
+namespace {
+constexpr int kMaxRejections = 16;
+}  // namespace
+
+EntityId NegativeSampler::CorruptTail(const Triplet& triplet, Rng* rng) const {
+  const size_t n = kg_->num_entities();
+  for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
+    EntityId cand = static_cast<EntityId>(rng->NextUint64(n));
+    if (cand == triplet.tail) continue;
+    if (!kg_->HasTriplet(triplet.head, triplet.relation, cand)) return cand;
+  }
+  // Dense tiny graph: accept any different entity.
+  EntityId cand = static_cast<EntityId>(rng->NextUint64(n));
+  if (cand == triplet.tail) cand = static_cast<EntityId>((cand + 1) % n);
+  return cand;
+}
+
+EntityId NegativeSampler::CorruptEntityOfClass(ClassId c, Rng* rng) const {
+  const size_t n = kg_->num_entities();
+  for (int attempt = 0; attempt < kMaxRejections; ++attempt) {
+    EntityId cand = static_cast<EntityId>(rng->NextUint64(n));
+    if (!kg_->HasType(cand, c)) return cand;
+  }
+  return static_cast<EntityId>(rng->NextUint64(n));
+}
+
+}  // namespace daakg

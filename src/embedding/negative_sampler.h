@@ -1,0 +1,30 @@
+#ifndef DAAKG_EMBEDDING_NEGATIVE_SAMPLER_H_
+#define DAAKG_EMBEDDING_NEGATIVE_SAMPLER_H_
+
+#include "common/rng.h"
+#include "kg/knowledge_graph.h"
+
+namespace daakg {
+
+// Draws corrupted tails for margin-ranking training (the fake triplet sets
+// T~ and T~_type of Eqs. 1 and 3). Because reverse triplets are
+// materialized, corrupting tails suffices (Sect. 4.1).
+class NegativeSampler {
+ public:
+  explicit NegativeSampler(const KnowledgeGraph* kg) : kg_(kg) {}
+
+  // A random entity t' such that (h, r, t') is not in the KG. Falls back to
+  // an arbitrary different entity after a bounded number of rejections
+  // (relevant only for tiny graphs).
+  EntityId CorruptTail(const Triplet& triplet, Rng* rng) const;
+
+  // A random entity e' that does not belong to class c.
+  EntityId CorruptEntityOfClass(ClassId c, Rng* rng) const;
+
+ private:
+  const KnowledgeGraph* kg_;
+};
+
+}  // namespace daakg
+
+#endif  // DAAKG_EMBEDDING_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,60 @@
+#ifndef DAAKG_EMBEDDING_ROTATE_H_
+#define DAAKG_EMBEDDING_ROTATE_H_
+
+#include <string>
+
+#include "embedding/kge_model.h"
+
+namespace daakg {
+
+// RotatE (Sun et al., 2019): entities are complex vectors (dim/2 complex
+// coordinates stored interleaved [re0, im0, re1, im1, ...]); relations are
+// element-wise rotations r_k = e^{i theta_k} parameterized by phases.
+// f_er(h, r, t) = ||h o r - t||_2 where o is the element-wise complex
+// (Hadamard) product.
+//
+// Phase storage: relations_ row r holds the dim/2 phases in its first dim/2
+// slots; the rest is unused. RelationRepr() exposes (cos, sin) pairs so the
+// alignment model compares rotations in a smooth space.
+class RotatE : public KgeModel {
+ public:
+  RotatE(const KnowledgeGraph* kg, const KgeConfig& config);
+
+  std::string name() const override { return "rotate"; }
+
+  void Init(Rng* rng) override;
+
+  // Wraps phases into [-pi, pi] (norm clipping is meaningless for angles).
+  void NormalizeRelations() override;
+
+  float Score(EntityId head, RelationId relation,
+              EntityId tail) const override;
+
+  float TrainPair(const Triplet& pos, EntityId negative_tail,
+                  float lr) override;
+
+  // (cos theta_k, sin theta_k) interleaved, dimension == dim.
+  Vector RelationRepr(RelationId r) const override;
+
+  // Routes a gradient on the (cos, sin) representation into the phases.
+  void BackpropRelationRepr(RelationId r, const Vector& grad,
+                            float lr) override;
+
+  // t - h in the shared real space: the translation that the mean-embedding
+  // machinery of Eq. (7) averages (it is mapped by A_ent, so it must live
+  // in entity space for every model).
+  Vector LocalOptimumRelation(EntityId head, EntityId tail) const override;
+
+  // Gradient-solves min over tail embedding from `num_samples` random
+  // starts (Eq. 14) and reports the spread as d.
+  void EstimateEdgeBound(EntityId head, RelationId relation, EntityId tail,
+                         int num_samples, Rng* rng, Vector* r_tilde,
+                         float* d) const override;
+
+ private:
+  size_t half_dim_;
+};
+
+}  // namespace daakg
+
+#endif  // DAAKG_EMBEDDING_ROTATE_H_

@@ -1,0 +1,66 @@
+#include "embedding/trainer.h"
+
+#include <numeric>
+#include <vector>
+
+#include "embedding/negative_sampler.h"
+
+namespace daakg {
+
+void KgeTrainer::TrainEpoch(Rng* rng, KgeTrainStats* stats) {
+  const KnowledgeGraph& kg = model_->kg();
+  const KgeConfig& cfg = model_->config();
+  NegativeSampler sampler(&kg);
+
+  model_->OnEpochStart();
+
+  // --- entity-relation pass (Eq. 1) --------------------------------------
+  std::vector<size_t> order(kg.triplets().size());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  double er_loss = 0.0;
+  size_t er_steps = 0;
+  for (size_t idx : order) {
+    const Triplet& pos = kg.triplets()[idx];
+    for (int k = 0; k < cfg.num_negatives; ++k) {
+      EntityId neg = sampler.CorruptTail(pos, rng);
+      er_loss += model_->TrainPair(pos, neg, cfg.learning_rate);
+      ++er_steps;
+    }
+  }
+
+  // --- entity-class pass (Eq. 3) ------------------------------------------
+  double ec_loss = 0.0;
+  size_t ec_steps = 0;
+  if (ec_model_ != nullptr) {
+    std::vector<size_t> type_order(kg.type_triplets().size());
+    std::iota(type_order.begin(), type_order.end(), 0);
+    rng->Shuffle(&type_order);
+    for (size_t idx : type_order) {
+      const TypeTriplet& tt = kg.type_triplets()[idx];
+      for (int k = 0; k < cfg.num_negatives; ++k) {
+        EntityId neg = sampler.CorruptEntityOfClass(tt.cls, rng);
+        ec_loss +=
+            ec_model_->TrainPair(tt.entity, neg, tt.cls, cfg.learning_rate);
+        ++ec_steps;
+      }
+    }
+  }
+
+  model_->NormalizeEntities();
+  model_->NormalizeRelations();
+
+  ++stats->epochs;
+  stats->final_er_loss = er_steps > 0 ? er_loss / static_cast<double>(er_steps) : 0.0;
+  stats->final_ec_loss = ec_steps > 0 ? ec_loss / static_cast<double>(ec_steps) : 0.0;
+}
+
+KgeTrainStats KgeTrainer::Train(Rng* rng) {
+  KgeTrainStats stats;
+  for (int epoch = 0; epoch < model_->config().epochs; ++epoch) {
+    TrainEpoch(rng, &stats);
+  }
+  return stats;
+}
+
+}  // namespace daakg

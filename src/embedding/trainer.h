@@ -1,0 +1,41 @@
+#ifndef DAAKG_EMBEDDING_TRAINER_H_
+#define DAAKG_EMBEDDING_TRAINER_H_
+
+#include "common/rng.h"
+#include "embedding/entity_class_model.h"
+#include "embedding/kge_model.h"
+
+namespace daakg {
+
+struct KgeTrainStats {
+  int epochs = 0;
+  double final_er_loss = 0.0;  // mean margin loss over the last epoch
+  double final_ec_loss = 0.0;
+};
+
+// Margin-ranking trainer for one KG's embedding model: optimizes
+// O_er(T) (Eq. 1) over relational triplets and, when an EntityClassModel is
+// attached, O_ec(T_type) (Eq. 3) over type triplets in the same epoch loop.
+class KgeTrainer {
+ public:
+  // `ec_model` may be null (ablation "w/o class embeddings" trains only the
+  // entity-relation structure).
+  KgeTrainer(KgeModel* model, EntityClassModel* ec_model)
+      : model_(model), ec_model_(ec_model) {}
+
+  // Runs config().epochs epochs of SGD with per-epoch triplet shuffling,
+  // entity renormalization and (for GNN models) aggregation refresh.
+  KgeTrainStats Train(Rng* rng);
+
+  // Runs a single epoch; exposed so callers interleaving alignment steps
+  // (semi-supervised joint training) can drive the loop themselves.
+  void TrainEpoch(Rng* rng, KgeTrainStats* stats);
+
+ private:
+  KgeModel* model_;
+  EntityClassModel* ec_model_;
+};
+
+}  // namespace daakg
+
+#endif  // DAAKG_EMBEDDING_TRAINER_H_

@@ -1,0 +1,81 @@
+#include "infer/alignment_graph.h"
+
+#include "common/logging.h"
+
+namespace daakg {
+
+AlignmentGraph::AlignmentGraph(const AlignmentTask* task,
+                               const std::vector<ElementPair>& pool)
+    : task_(task), pool_(pool) {
+  index_.reserve(pool_.size() * 2);
+  for (uint32_t i = 0; i < pool_.size(); ++i) {
+    index_.emplace(pool_[i], i);
+  }
+  out_.assign(pool_.size(), {});
+
+  const KnowledgeGraph& kg1 = task_->kg1;
+  const KnowledgeGraph& kg2 = task_->kg2;
+
+  // Maps a (possibly reverse) relation id to the base id its pool pair is
+  // stored under.
+  auto base1 = [&kg1](RelationId r) {
+    return kg1.IsReverseRelation(r) ? kg1.ReverseOf(r) : r;
+  };
+  auto base2 = [&kg2](RelationId r) {
+    return kg2.IsReverseRelation(r) ? kg2.ReverseOf(r) : r;
+  };
+
+  for (uint32_t node = 0; node < pool_.size(); ++node) {
+    const ElementPair& pair = pool_[node];
+    if (pair.kind != ElementKind::kEntity) continue;
+    const EntityId e1 = pair.first;
+    const EntityId e2 = pair.second;
+
+    // Relational edges: matching outgoing edges on both sides whose
+    // relation pair and target pair are in the pool. Both edges must be of
+    // the same direction (forward-forward or reverse-reverse) for the
+    // labeled relation pair to make sense.
+    for (const auto& n1 : kg1.Neighbors(e1)) {
+      const bool rev1 = kg1.IsReverseRelation(n1.relation);
+      const ElementPair rel_key{ElementKind::kRelation, base1(n1.relation), 0};
+      for (const auto& n2 : kg2.Neighbors(e2)) {
+        if (kg2.IsReverseRelation(n2.relation) != rev1) continue;
+        auto rel_it = index_.find(ElementPair{ElementKind::kRelation,
+                                              rel_key.first,
+                                              base2(n2.relation)});
+        if (rel_it == index_.end()) continue;
+        auto tgt_it = index_.find(
+            ElementPair{ElementKind::kEntity, n1.tail, n2.tail});
+        if (tgt_it == index_.end()) continue;
+        out_[node].push_back(Edge{tgt_it->second, rel_it->second});
+        rel_pair_edges_[rel_it->second].emplace_back(node, tgt_it->second);
+        ++num_edges_;
+      }
+    }
+
+    // Type edges to class pairs.
+    for (ClassId c1 : kg1.ClassesOf(e1)) {
+      for (ClassId c2 : kg2.ClassesOf(e2)) {
+        auto it = index_.find(ElementPair{ElementKind::kClass, c1, c2});
+        if (it == index_.end()) continue;
+        out_[node].push_back(Edge{it->second, kTypeLabel});
+        ++num_edges_;
+      }
+    }
+  }
+}
+
+uint32_t AlignmentGraph::IndexOf(const ElementPair& pair) const {
+  auto it = index_.find(pair);
+  return it == index_.end() ? kInvalidId : it->second;
+}
+
+const std::vector<std::pair<uint32_t, uint32_t>>&
+AlignmentGraph::EdgesOfRelationPair(uint32_t rel_pair_node) const {
+  static const std::vector<std::pair<uint32_t, uint32_t>>* empty =
+      new std::vector<std::pair<uint32_t, uint32_t>>();
+  auto it = rel_pair_edges_.find(rel_pair_node);
+  return it == rel_pair_edges_.end() ? *empty : it->second;
+}
+
+}  // namespace daakg

@@ -1,0 +1,69 @@
+#ifndef DAAKG_INFER_ALIGNMENT_GRAPH_H_
+#define DAAKG_INFER_ALIGNMENT_GRAPH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/alignment_task.h"
+#include "kg/ids.h"
+
+namespace daakg {
+
+// The alignment graph G x_P G' of Sect. 5.1: nodes are the element pairs of
+// the pool P; a directed edge connects entity pair (x, x') to pair
+// (x'', x''') labeled by relation pair (r, r') whenever (x, r, x'') is a
+// triplet of KG1, (x', r', x''') is a triplet of KG2, and all three pairs
+// are in the pool. Type edges (entity pair -> class pair) carry the special
+// label kTypeLabel.
+//
+// Reverse relations are materialized in the KGs, so the graph is naturally
+// "bidirectional": the reverse edge appears with the reverse relation pair.
+class AlignmentGraph {
+ public:
+  static constexpr uint32_t kTypeLabel = 0xFFFFFFFFu;
+
+  struct Edge {
+    uint32_t target;      // pool index of the target pair
+    uint32_t rel_pair;    // pool index of the relation pair label, or kTypeLabel
+  };
+
+  // Builds the graph over `pool`. Relation pairs in the pool may refer to
+  // base or reverse relations of KG1/KG2; edges are created for both
+  // directions when the corresponding reverse pair is present (a relation
+  // pair (r1, r2) implicitly licenses (r1^-1, r2^-1) edges).
+  AlignmentGraph(const AlignmentTask* task,
+                 const std::vector<ElementPair>& pool);
+
+  const std::vector<ElementPair>& pool() const { return pool_; }
+  size_t num_nodes() const { return pool_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  // Pool index of `pair`, or kInvalidId.
+  uint32_t IndexOf(const ElementPair& pair) const;
+
+  // Outgoing edges of pool node `node`.
+  const std::vector<Edge>& Out(uint32_t node) const { return out_[node]; }
+
+  // All (source, target) node pairs labeled by relation-pair node
+  // `rel_pair_node` (used by Eqs. 20 and 22).
+  const std::vector<std::pair<uint32_t, uint32_t>>& EdgesOfRelationPair(
+      uint32_t rel_pair_node) const;
+
+  // Original KG ids behind an edge label: maps a pool relation-pair index
+  // to (r1, r2).
+  const AlignmentTask& task() const { return *task_; }
+
+ private:
+  const AlignmentTask* task_;
+  std::vector<ElementPair> pool_;
+  std::unordered_map<ElementPair, uint32_t, ElementPairHash> index_;
+  std::vector<std::vector<Edge>> out_;
+  std::unordered_map<uint32_t, std::vector<std::pair<uint32_t, uint32_t>>>
+      rel_pair_edges_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace daakg
+
+#endif  // DAAKG_INFER_ALIGNMENT_GRAPH_H_

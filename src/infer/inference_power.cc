@@ -1,0 +1,332 @@
+#include "infer/inference_power.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+
+namespace daakg {
+namespace {
+constexpr float kInfCost = std::numeric_limits<float>::infinity();
+}  // namespace
+
+InferenceEngine::InferenceEngine(const AlignmentGraph* graph,
+                                 const JointAlignmentModel* model,
+                                 const InferenceConfig& config)
+    : graph_(graph), model_(model), config_(config), rng_(config.seed) {
+  DAAKG_CHECK(model->caches_ready());
+}
+
+const InferenceEngine::EdgeBound& InferenceEngine::BoundFor(
+    int side, EntityId head, RelationId rel, EntityId tail) const {
+  auto& cache = side == 1 ? bounds1_ : bounds2_;
+  const Triplet key{head, rel, tail};
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  const KgeModel& model = side == 1 ? *model_->kg1_model() : *model_->kg2_model();
+  EdgeBound bound;
+  model.EstimateEdgeBound(head, rel, tail, config_.bound_samples, &rng_,
+                          &bound.r_tilde, &bound.d);
+  return cache.emplace(key, std::move(bound)).first->second;
+}
+
+float InferenceEngine::ComputeEdgeCost(uint32_t node,
+                                       const AlignmentGraph::Edge& edge) const {
+  if (edge.rel_pair == AlignmentGraph::kTypeLabel) return kInfCost;
+  const ElementPair& src = graph_->pool()[node];
+  const ElementPair& dst = graph_->pool()[edge.target];
+  const ElementPair& rel = graph_->pool()[edge.rel_pair];
+  const KnowledgeGraph& kg1 = graph_->task().kg1;
+  const KnowledgeGraph& kg2 = graph_->task().kg2;
+
+  // Resolve the actual (possibly reverse) relations behind the labeled pair.
+  RelationId r1 = rel.first;
+  if (!kg1.HasTriplet(src.first, r1, dst.first)) r1 = kg1.ReverseOf(r1);
+  RelationId r2 = rel.second;
+  if (!kg2.HasTriplet(src.second, r2, dst.second)) r2 = kg2.ReverseOf(r2);
+
+  const EdgeBound& b1 = BoundFor(1, src.first, r1, dst.first);
+  const EdgeBound& b2 = BoundFor(2, src.second, r2, dst.second);
+
+  // The relation-difference term of Eq. (15). Raw Euclidean distance
+  // between r~ vectors mixes magnitude effects that the cosine-trained
+  // mapping never controls; the joint model's calibrated relation
+  // similarity is the same quantity on a clean [0, 2] scale (angle of
+  // A_rel r~ vs r~'), so we use 1 - S(r, r') and keep the sampled bound
+  // direction only through the d terms.
+  const RelationId r1b = kg1.IsReverseRelation(r1) ? kg1.ReverseOf(r1) : r1;
+  const RelationId r2b = kg2.IsReverseRelation(r2) ? kg2.ReverseOf(r2) : r2;
+  const float rel_diff =
+      config_.rel_diff_weight * (1.0f - model_->relation_sim()(r1b, r2b)) +
+      config_.residual_weight * (b1.d + b2.d);
+
+  // The d terms of Eq. (15) must cover "the size of the space of possible
+  // entities" (Sect. 5.2): when the head emits several edges with the same
+  // relation, the bound cannot single out the tail. Score residuals alone
+  // do not see this, so each parallel edge beyond the first adds a unit of
+  // slack (the alternative-entity condition made explicit).
+  auto parallel_edges = [](const KnowledgeGraph& kg, EntityId h,
+                           RelationId r) {
+    size_t n = 0;
+    for (const auto& nb : kg.Neighbors(h)) n += (nb.relation == r);
+    return n;
+  };
+  const float alternatives =
+      static_cast<float>(parallel_edges(kg1, src.first, r1) - 1 +
+                         parallel_edges(kg2, src.second, r2) - 1);
+  return rel_diff + config_.alt_penalty * alternatives;
+}
+
+void InferenceEngine::PrecomputeEdgeCosts() {
+  const size_t n = graph_->num_nodes();
+  costs_.assign(n, {});
+  // Single pass; the per-side bound caches make repeated KG edges cheap.
+  // (Bound estimation mutates the caches, so this loop stays sequential;
+  // it is the dominant cost only for the sampled-bound models.)
+  for (uint32_t node = 0; node < n; ++node) {
+    const auto& out = graph_->Out(node);
+    auto& row = costs_[node];
+    row.resize(out.size());
+    for (size_t k = 0; k < out.size(); ++k) {
+      row[k] = ComputeEdgeCost(node, out[k]);
+    }
+  }
+
+  cost_scale_ = 1.0f;
+  if (config_.auto_calibrate_costs) {
+    std::vector<float> finite;
+    for (const auto& row : costs_) {
+      for (float c : row) {
+        if (std::isfinite(c)) finite.push_back(c);
+      }
+    }
+    if (!finite.empty()) {
+      const size_t idx = static_cast<size_t>(
+          config_.calibration_percentile *
+          static_cast<double>(finite.size() - 1));
+      std::nth_element(finite.begin(),
+                       finite.begin() + static_cast<ptrdiff_t>(idx),
+                       finite.end());
+      const float reference = std::max(finite[idx], 1e-4f);
+      // Map the reference cost to power ~0.9 (cost 1/9).
+      cost_scale_ = std::clamp((1.0f / 9.0f) / reference, 1e-3f, 1e3f);
+      for (auto& row : costs_) {
+        for (float& c : row) {
+          if (std::isfinite(c)) c *= cost_scale_;
+        }
+      }
+    }
+  }
+  costs_ready_ = true;
+}
+
+float InferenceEngine::EdgeCost(uint32_t node, size_t edge_index) const {
+  DAAKG_CHECK(costs_ready_);
+  return costs_[node][edge_index];
+}
+
+PowerRow InferenceEngine::PowerFrom(uint32_t src) const {
+  DAAKG_CHECK(costs_ready_);
+  PowerRow out;
+  const ElementPair& src_pair = graph_->pool()[src];
+  const float max_cost =
+      static_cast<float>(1.0 / config_.power_floor - 1.0) + 1e-6f;
+
+  if (src_pair.kind == ElementKind::kEntity) {
+    // --- path powers to entity pairs (Eq. 19), mu-hop bounded -------------
+    std::unordered_map<uint32_t, float> best;
+    std::unordered_map<uint32_t, float> frontier{{src, 0.0f}};
+    best[src] = 0.0f;
+    for (int hop = 0; hop < config_.max_hops && !frontier.empty(); ++hop) {
+      std::unordered_map<uint32_t, float> next;
+      for (const auto& [node, cost] : frontier) {
+        const auto& edges = graph_->Out(node);
+        for (size_t k = 0; k < edges.size(); ++k) {
+          const float c = costs_[node][k];
+          if (!std::isfinite(c)) continue;
+          const float nc = cost + c;
+          if (nc > max_cost) continue;
+          const uint32_t tgt = edges[k].target;
+          auto it = best.find(tgt);
+          if (it == best.end() || nc < it->second) {
+            best[tgt] = nc;
+            next[tgt] = nc;
+          }
+        }
+      }
+      frontier = std::move(next);
+    }
+    for (const auto& [node, cost] : best) {
+      if (node == src) continue;
+      const float power = 1.0f / (1.0f + cost);
+      if (power > config_.power_floor) out.emplace_back(node, power);
+    }
+
+    // --- 1-hop gradient powers (Eqs. 21-22) --------------------------------
+    std::unordered_map<uint32_t, float> schema_power;
+    const auto& edges = graph_->Out(src);
+    for (size_t k = 0; k < edges.size(); ++k) {
+      const AlignmentGraph::Edge& e = edges[k];
+      if (e.rel_pair == AlignmentGraph::kTypeLabel) {
+        const float p =
+            PowerEntityToClass(src_pair, graph_->pool()[e.target]);
+        auto& slot = schema_power[e.target];
+        slot = std::max(slot, p);
+      } else {
+        const float p = PowerEntityToRelation(
+            src_pair, graph_->pool()[e.rel_pair], graph_->pool()[e.target]);
+        auto& slot = schema_power[e.rel_pair];
+        slot = std::max(slot, p);
+      }
+    }
+    for (const auto& [node, power] : schema_power) {
+      if (power > config_.power_floor) out.emplace_back(node, power);
+    }
+    return out;
+  }
+
+  if (src_pair.kind == ElementKind::kRelation) {
+    // Eq. (20): with (r, r') labeled a match, the relation-difference term
+    // vanishes; inference reaches targets of edges labeled (r, r') whose
+    // source entity pair is a likely match.
+    std::unordered_map<uint32_t, float> target_power;
+    for (const auto& [from, to] : graph_->EdgesOfRelationPair(src)) {
+      if (model_->MatchProbability(graph_->pool()[from]) <
+          config_.likely_match_prob) {
+        continue;
+      }
+      // Locate the edge to read its d-components: recompute cost without
+      // the relation term by subtracting it is not possible from the cached
+      // scalar, so recompute the d-only cost directly.
+      const ElementPair& sp = graph_->pool()[from];
+      const ElementPair& tp = graph_->pool()[to];
+      const ElementPair& rel = src_pair;
+      const KnowledgeGraph& kg1 = graph_->task().kg1;
+      const KnowledgeGraph& kg2 = graph_->task().kg2;
+      RelationId r1 = rel.first;
+      if (!kg1.HasTriplet(sp.first, r1, tp.first)) r1 = kg1.ReverseOf(r1);
+      RelationId r2 = rel.second;
+      if (!kg2.HasTriplet(sp.second, r2, tp.second)) r2 = kg2.ReverseOf(r2);
+      const EdgeBound& b1 = BoundFor(1, sp.first, r1, tp.first);
+      const EdgeBound& b2 = BoundFor(2, sp.second, r2, tp.second);
+      // Same units as the path costs: the labeled relation match zeroes
+      // the relation-difference term, leaving the weighted residuals.
+      const float power =
+          1.0f / (1.0f + cost_scale_ * config_.residual_weight *
+                             (b1.d + b2.d));
+      auto& slot = target_power[to];
+      slot = std::max(slot, power);
+    }
+    for (const auto& [node, power] : target_power) {
+      if (power > config_.power_floor) out.emplace_back(node, power);
+    }
+    return out;
+  }
+
+  // Class-pair sources: no outgoing inference defined (Sect. 5.2).
+  return out;
+}
+
+std::vector<InferenceEngine::OneHopPower> InferenceEngine::OneHopPowers(
+    uint32_t node) const {
+  DAAKG_CHECK(costs_ready_);
+  std::vector<OneHopPower> out;
+  const ElementPair& src = graph_->pool()[node];
+  if (src.kind != ElementKind::kEntity) return out;
+  const auto& edges = graph_->Out(node);
+  out.reserve(edges.size());
+  for (size_t k = 0; k < edges.size(); ++k) {
+    const AlignmentGraph::Edge& e = edges[k];
+    float power;
+    if (e.rel_pair == AlignmentGraph::kTypeLabel) {
+      power = PowerEntityToClass(src, graph_->pool()[e.target]);
+    } else {
+      power = 1.0f / (1.0f + costs_[node][k]);
+    }
+    if (power > 0.0f) {
+      out.push_back(OneHopPower{e.target, e.rel_pair, power});
+    }
+  }
+  return out;
+}
+
+float InferenceEngine::PowerEntityToClass(const ElementPair& entity_pair,
+                                          const ElementPair& class_pair) const {
+  // Eq. (21): || grad_{e, e'} S(c, c') ||, which is non-zero only through
+  // the mean-embedding branch of S(c, c').
+  const KnowledgeGraph& kg1 = graph_->task().kg1;
+  const KnowledgeGraph& kg2 = graph_->task().kg2;
+  const EntityId e1 = entity_pair.first;
+  const EntityId e2 = entity_pair.second;
+  const ClassId c1 = class_pair.first;
+  const ClassId c2 = class_pair.second;
+  const bool member1 = kg1.HasType(e1, c1);
+  const bool member2 = kg2.HasType(e2, c2);
+  if (!member1 && !member2) return 0.0f;
+
+  Vector u = model_->a_ent().Multiply(model_->ClassMean1(c1));
+  const Vector& v = model_->ClassMean2(c2);
+  Vector du;
+  Vector dv;
+  const float s_mean = CosineWithGradients(u, v, &du, &dv);
+  // Subgradient through max(): if the class-embedding branch wins, the
+  // entity gradient is zero.
+  const float s_full = model_->class_sim()(c1, c2);
+  if (s_full > s_mean + 1e-6f) return 0.0f;
+
+  double sq = 0.0;
+  if (member1 && model_->ClassMeanWeightSum1(c1) > 0.0) {
+    const float coef = model_->EntityWeight1(e1) /
+                       static_cast<float>(model_->ClassMeanWeightSum1(c1));
+    Vector g = model_->a_ent().TransposeMultiply(du);
+    g *= coef;
+    sq += static_cast<double>(g.SquaredNorm());
+  }
+  if (member2 && model_->ClassMeanWeightSum2(c2) > 0.0) {
+    const float coef = model_->EntityWeight2(e2) /
+                       static_cast<float>(model_->ClassMeanWeightSum2(c2));
+    Vector g = dv * coef;
+    sq += static_cast<double>(g.SquaredNorm());
+  }
+  return std::min(1.0f, static_cast<float>(std::sqrt(sq)));
+}
+
+float InferenceEngine::PowerEntityToRelation(
+    const ElementPair& entity_pair, const ElementPair& rel_pair,
+    const ElementPair& target_pair) const {
+  // Eq. (22): || grad_{e''-e, e'''-e'} S(r, r') || through the
+  // mean-embedding branch of S(r, r').
+  const RelationId r1 = rel_pair.first;
+  const RelationId r2 = rel_pair.second;
+  Vector u = model_->a_ent().Multiply(model_->RelationMean1(r1));
+  const Vector& v = model_->RelationMean2(r2);
+  Vector du;
+  Vector dv;
+  const float s_mean = CosineWithGradients(u, v, &du, &dv);
+  const float s_full = model_->relation_sim()(r1, r2);
+  if (s_full > s_mean + 1e-6f) return 0.0f;
+
+  double sq = 0.0;
+  if (model_->RelationMeanWeightSum1(r1) > 0.0) {
+    const float w = std::min(model_->EntityWeight1(entity_pair.first),
+                             model_->EntityWeight1(target_pair.first));
+    const float coef =
+        w / static_cast<float>(model_->RelationMeanWeightSum1(r1));
+    Vector g = model_->a_ent().TransposeMultiply(du);
+    g *= coef;
+    sq += static_cast<double>(g.SquaredNorm());
+  }
+  if (model_->RelationMeanWeightSum2(r2) > 0.0) {
+    const float w = std::min(model_->EntityWeight2(entity_pair.second),
+                             model_->EntityWeight2(target_pair.second));
+    const float coef =
+        w / static_cast<float>(model_->RelationMeanWeightSum2(r2));
+    Vector g = dv * coef;
+    sq += static_cast<double>(g.SquaredNorm());
+  }
+  return std::min(1.0f, static_cast<float>(std::sqrt(sq)));
+}
+
+}  // namespace daakg

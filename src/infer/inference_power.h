@@ -1,0 +1,124 @@
+#ifndef DAAKG_INFER_INFERENCE_POWER_H_
+#define DAAKG_INFER_INFERENCE_POWER_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "align/joint_model.h"
+#include "infer/alignment_graph.h"
+
+namespace daakg {
+
+struct InferenceConfig {
+  int max_hops = 5;        // mu: path length cap (Sect. 5.2)
+  double kappa = 0.8;      // inference-power threshold of Eq. (23)
+  double power_floor = 0.5;  // powers below this are not recorded
+  int bound_samples = 3;   // m: SGD restarts in Eq. (14)
+  // Probability above which a pool entity pair counts as a likely match
+  // when evaluating Eq. (20) (relation-pair sources).
+  double likely_match_prob = 0.5;
+  // When true (default), path costs are rescaled after precomputation so
+  // the 20th-percentile edge reaches power ~0.9. The paper's absolute
+  // kappa = 0.8 presumes fully converged GPU-scale embeddings whose score
+  // residuals approach 0; CPU-scale training leaves a constant residual
+  // floor, so the *ranking* of bounds is meaningful but the absolute scale
+  // must be calibrated (see DESIGN.md).
+  bool auto_calibrate_costs = true;
+  double calibration_percentile = 0.02;
+  // Edge-cost composition (see InferenceEngine::ComputeEdgeCost): weights
+  // of the relation-difference term, the sampled residual bounds, and the
+  // per-parallel-edge alternative-entity penalty.
+  float rel_diff_weight = 2.0f;
+  float residual_weight = 0.2f;
+  float alt_penalty = 1.0f;
+  uint64_t seed = 41;
+};
+
+// A sparse row of inference powers: (pool node index, I(q'|q)).
+using PowerRow = std::vector<std::pair<uint32_t, float>>;
+
+// Computes the structure-based and gradient-based inference powers of
+// Sect. 5.2 on top of an alignment graph and a trained joint model.
+//
+// Path-based powers (entity pair -> entity pair, Eqs. 13-19) use per-edge
+// costs c = ||A_rel r~ - r~'|| + d + d' and a mu-hop bounded shortest-path
+// search. Summing per-edge costs upper-bounds the paper's path difference
+// (which norms the summed difference vectors), so the reported power is a
+// conservative lower bound — see DESIGN.md.
+class InferenceEngine {
+ public:
+  // All pointees must outlive the engine; `model` must have fresh caches.
+  InferenceEngine(const AlignmentGraph* graph, const JointAlignmentModel* model,
+                  const InferenceConfig& config);
+
+  const AlignmentGraph& graph() const { return *graph_; }
+  const InferenceConfig& config() const { return config_; }
+
+  // Precomputes every relational edge's cost (parallelized). Must be
+  // called before any power query.
+  void PrecomputeEdgeCosts();
+
+  // Cost of the k-th outgoing edge of `node` (kTypeLabel edges have no
+  // path cost and return +inf).
+  float EdgeCost(uint32_t node, size_t edge_index) const;
+
+  // I(q'|q) for all pool pairs q' with power > power_floor, for a
+  // hypothetical newly-labeled match at pool node `src`:
+  //  * entity-pair source: mu-hop path powers to entity pairs (Eq. 19)
+  //    plus 1-hop gradient powers to class pairs (Eq. 21) and to incident
+  //    relation pairs (Eq. 22);
+  //  * relation-pair source: Eq. (20) over edges labeled by it whose
+  //    source entity pair is a likely match;
+  //  * class-pair source: none (the paper defines no outgoing inference
+  //    from class pairs).
+  PowerRow PowerFrom(uint32_t src) const;
+
+  // A labeled one-hop power entry: one outgoing alignment-graph edge of a
+  // node, with its relation-pair label (kTypeLabel for type edges) and the
+  // 1-hop inference power along it.
+  struct OneHopPower {
+    uint32_t target;
+    uint32_t label;
+    float power;
+  };
+
+  // All 1-hop powers from `node`: path power 1/(1+cost) along relational
+  // edges, gradient power (Eq. 21) along type edges. Used by the
+  // graph-partitioning selection (Algorithm 2).
+  std::vector<OneHopPower> OneHopPowers(uint32_t node) const;
+
+  // Gradient-based powers, exposed for tests and the Table 6 bench.
+  float PowerEntityToClass(const ElementPair& entity_pair,
+                           const ElementPair& class_pair) const;  // Eq. 21
+  float PowerEntityToRelation(const ElementPair& entity_pair,
+                              const ElementPair& rel_pair,
+                              const ElementPair& target_pair) const;  // Eq. 22
+
+ private:
+  // (r~, d) of Eqs. (13)-(14) for one KG edge, cached per side.
+  struct EdgeBound {
+    Vector r_tilde;
+    float d;
+  };
+  const EdgeBound& BoundFor(int side, EntityId head, RelationId base_rel,
+                            EntityId tail) const;
+  float ComputeEdgeCost(uint32_t node, const AlignmentGraph::Edge& edge) const;
+
+  const AlignmentGraph* graph_;
+  const JointAlignmentModel* model_;
+  InferenceConfig config_;
+  mutable Rng rng_;
+
+  // costs_[node][k] parallels graph_->Out(node).
+  std::vector<std::vector<float>> costs_;
+  float cost_scale_ = 1.0f;  // see auto_calibrate_costs
+  bool costs_ready_ = false;
+
+  mutable std::unordered_map<Triplet, EdgeBound, TripletHash> bounds1_;
+  mutable std::unordered_map<Triplet, EdgeBound, TripletHash> bounds2_;
+};
+
+}  // namespace daakg
+
+#endif  // DAAKG_INFER_INFERENCE_POWER_H_

@@ -1,0 +1,17 @@
+#include "kg/ids.h"
+
+namespace daakg {
+
+const char* ElementKindToString(ElementKind kind) {
+  switch (kind) {
+    case ElementKind::kEntity:
+      return "entity";
+    case ElementKind::kRelation:
+      return "relation";
+    case ElementKind::kClass:
+      return "class";
+  }
+  return "?";
+}
+
+}  // namespace daakg

@@ -1,0 +1,43 @@
+#ifndef DAAKG_KG_IO_H_
+#define DAAKG_KG_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "kg/alignment_task.h"
+#include "kg/knowledge_graph.h"
+
+namespace daakg {
+
+// Text formats (OpenEA-style):
+//
+//   triples file   : one `head<TAB>relation<TAB>tail` per line; lines whose
+//                    relation equals `type_relation` become entity-class
+//                    triplets (the tail is a class).
+//   matches file   : one `element1<TAB>element2` per line (names).
+//
+// Blank lines and lines starting with '#' are skipped.
+
+inline constexpr char kDefaultTypeRelation[] = "rdf:type";
+
+// Parses a triples file into a fresh (finalized) KnowledgeGraph.
+StatusOr<KnowledgeGraph> LoadKgFromTsv(
+    const std::string& path, const std::string& type_relation = kDefaultTypeRelation);
+
+// Writes a finalized KG back out (forward triplets and type triplets only;
+// synthetic reverse triplets are skipped so a round trip is lossless).
+Status SaveKgToTsv(const KnowledgeGraph& kg, const std::string& path,
+                   const std::string& type_relation = kDefaultTypeRelation);
+
+// Loads a full task from a directory containing:
+//   kg1_triples.tsv  kg2_triples.tsv
+//   ent_matches.tsv  rel_matches.tsv  cls_matches.tsv
+// (the two schema match files are optional).
+StatusOr<AlignmentTask> LoadAlignmentTask(const std::string& dir);
+
+// Writes a task into `dir` (which must exist) in the layout above.
+Status SaveAlignmentTask(const AlignmentTask& task, const std::string& dir);
+
+}  // namespace daakg
+
+#endif  // DAAKG_KG_IO_H_

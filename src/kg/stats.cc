@@ -1,0 +1,47 @@
+#include "kg/stats.h"
+
+#include "common/string_util.h"
+
+namespace daakg {
+
+TaskStats ComputeTaskStats(const AlignmentTask& task) {
+  TaskStats s;
+  s.name = task.name;
+  s.entities1 = task.kg1.num_entities();
+  s.entities2 = task.kg2.num_entities();
+  s.relations1 = task.kg1.num_base_relations();
+  s.relations2 = task.kg2.num_base_relations();
+  s.classes1 = task.kg1.num_classes();
+  s.classes2 = task.kg2.num_classes();
+  s.triplets1 = task.kg1.num_triplets() / 2;  // forward only
+  s.triplets2 = task.kg2.num_triplets() / 2;
+  s.type_triplets1 = task.kg1.num_type_triplets();
+  s.type_triplets2 = task.kg2.num_type_triplets();
+  s.entity_matches = task.gold_entities.size();
+  s.relation_matches = task.gold_relations.size();
+  s.class_matches = task.gold_classes.size();
+  if (s.entities1 > 0) {
+    s.avg_degree1 =
+        static_cast<double>(s.triplets1) / static_cast<double>(s.entities1);
+  }
+  if (s.entities2 > 0) {
+    s.avg_degree2 =
+        static_cast<double>(s.triplets2) / static_cast<double>(s.entities2);
+  }
+  return s;
+}
+
+std::string StatsHeader() {
+  return StrFormat("%-8s %18s %14s %12s %12s %10s", "Dataset", "Entities",
+                   "Relations", "Classes", "Triplets", "Matches");
+}
+
+std::string FormatStatsRow(const TaskStats& s) {
+  return StrFormat(
+      "%-8s %8zu vs %6zu %6zu vs %4zu %5zu vs %3zu %5zu/%5zu %6zu/%zu/%zu",
+      s.name.c_str(), s.entities1, s.entities2, s.relations1, s.relations2,
+      s.classes1, s.classes2, s.triplets1, s.triplets2, s.entity_matches,
+      s.relation_matches, s.class_matches);
+}
+
+}  // namespace daakg

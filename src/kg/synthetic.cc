@@ -1,0 +1,421 @@
+#include "kg/synthetic.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace daakg {
+namespace {
+
+// Small word banks so generated names look like real KG labels and lexical
+// baselines have n-grams to chew on.
+constexpr const char* kNouns[] = {
+    "city",   "person",  "album",   "river",  "company", "film",
+    "team",   "species", "award",   "event",  "building", "planet",
+    "book",   "song",    "island",  "league", "village",  "museum",
+    "bridge", "school",  "journal", "engine", "castle",   "region"};
+constexpr const char* kVerbs[] = {
+    "locatedIn",  "bornIn",     "memberOf",  "authorOf",   "partOf",
+    "worksFor",   "marriedTo",  "capitalOf", "flowsInto",  "playsFor",
+    "directedBy", "producedBy", "ownedBy",   "foundedBy",  "succeeds",
+    "precedes",   "influenced", "educatedAt", "diedIn",    "composedBy",
+    "starsIn",    "basedOn",    "namedAfter", "affiliatedWith"};
+
+std::string NounFor(size_t i) {
+  return kNouns[i % (sizeof(kNouns) / sizeof(kNouns[0]))];
+}
+std::string VerbFor(size_t i) {
+  return kVerbs[i % (sizeof(kVerbs) / sizeof(kVerbs[0]))];
+}
+
+Status ValidateSpec(const SyntheticKgSpec& s) {
+  if (s.num_entities1 == 0 || s.num_entities2 == 0) {
+    return InvalidArgumentError("entity counts must be positive");
+  }
+  if (s.num_entities2 > s.num_entities1) {
+    return InvalidArgumentError(
+        "num_entities2 must not exceed num_entities1 (KG2 is the subset "
+        "side)");
+  }
+  if (s.num_relations1 == 0 || s.num_relations2 == 0 || s.num_classes1 == 0 ||
+      s.num_classes2 == 0) {
+    return InvalidArgumentError("relation/class counts must be positive");
+  }
+  if (s.num_relation_matches > std::min(s.num_relations1, s.num_relations2)) {
+    return InvalidArgumentError("too many relation matches");
+  }
+  if (s.num_class_matches > std::min(s.num_classes1, s.num_classes2)) {
+    return InvalidArgumentError("too many class matches");
+  }
+  if (s.avg_degree <= 0.0) {
+    return InvalidArgumentError("avg_degree must be positive");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string ObfuscateName(const std::string& name) {
+  // Fixed letter substitution (a keyed Caesar-like permutation) plus a
+  // suffix; deterministic so re-generation is reproducible, and destroys
+  // almost all shared n-grams with the source name.
+  static constexpr char kLowerMap[] = "qwertzuiopasdfghjklyxcvbnm";
+  std::string out;
+  out.reserve(name.size() + 3);
+  for (char ch : name) {
+    if (ch >= 'a' && ch <= 'z') {
+      out.push_back(kLowerMap[ch - 'a']);
+    } else if (ch >= 'A' && ch <= 'Z') {
+      out.push_back(
+          static_cast<char>(kLowerMap[ch - 'A'] - 'a' + 'A'));
+    } else if (ch >= '0' && ch <= '9') {
+      // Digits carry entity/class indexes; leaving them intact would hand
+      // lexical baselines a perfect identifier across "languages".
+      out.push_back(static_cast<char>('a' + (ch - '0')));
+    } else {
+      out.push_back(ch);
+    }
+  }
+  out += "_xx";
+  return out;
+}
+
+const char* BenchmarkDatasetName(BenchmarkDataset dataset) {
+  switch (dataset) {
+    case BenchmarkDataset::kDW:
+      return "D-W";
+    case BenchmarkDataset::kDY:
+      return "D-Y";
+    case BenchmarkDataset::kEnDe:
+      return "EN-DE";
+    case BenchmarkDataset::kEnFr:
+      return "EN-FR";
+  }
+  return "?";
+}
+
+SyntheticKgSpec BenchmarkSpec(BenchmarkDataset dataset, double scale,
+                              uint64_t seed) {
+  SyntheticKgSpec spec;
+  spec.name = BenchmarkDatasetName(dataset);
+  spec.seed = seed;
+  spec.num_entities1 = static_cast<size_t>(2000 * scale);
+  spec.num_entities2 = static_cast<size_t>(1400 * scale);
+  switch (dataset) {
+    case BenchmarkDataset::kDW:
+      // 413 vs 261 relations, 167 vs 116 classes in the paper; ~1/10 here.
+      spec.num_relations1 = 40;
+      spec.num_relations2 = 26;
+      spec.num_relation_matches = 20;
+      spec.num_classes1 = 17;
+      spec.num_classes2 = 12;
+      spec.num_class_matches = 10;
+      spec.name_policy = NamePolicy::kOpaqueIds;
+      break;
+    case BenchmarkDataset::kDY:
+      // 287 vs 32 relations, 13 vs 9 classes: schema-poor second side, few
+      // schema matches — the regime where pool recall degrades (Fig. 6).
+      spec.num_relations1 = 29;
+      spec.num_relations2 = 6;
+      spec.num_relation_matches = 4;
+      spec.num_classes1 = 13;
+      spec.num_classes2 = 9;
+      spec.num_class_matches = 6;
+      spec.name_policy = NamePolicy::kSharedNames;
+      break;
+    case BenchmarkDataset::kEnDe:
+      spec.num_relations1 = 38;
+      spec.num_relations2 = 20;
+      spec.num_relation_matches = 16;
+      spec.num_classes1 = 15;
+      spec.num_classes2 = 10;
+      spec.num_class_matches = 8;
+      spec.name_policy = NamePolicy::kObfuscated;
+      break;
+    case BenchmarkDataset::kEnFr:
+      spec.num_relations1 = 40;
+      spec.num_relations2 = 30;
+      spec.num_relation_matches = 24;
+      spec.num_classes1 = 17;
+      spec.num_classes2 = 12;
+      spec.num_class_matches = 10;
+      spec.name_policy = NamePolicy::kObfuscated;
+      break;
+  }
+  return spec;
+}
+
+StatusOr<AlignmentTask> MakeBenchmarkTask(BenchmarkDataset dataset,
+                                          double scale, uint64_t seed) {
+  return GenerateSyntheticTask(BenchmarkSpec(dataset, scale, seed));
+}
+
+StatusOr<AlignmentTask> GenerateSyntheticTask(const SyntheticKgSpec& spec) {
+  DAAKG_RETURN_IF_ERROR(ValidateSpec(spec));
+  Rng rng(spec.seed);
+
+  AlignmentTask task;
+  task.name = spec.name;
+  KnowledgeGraph& kg1 = task.kg1;
+  KnowledgeGraph& kg2 = task.kg2;
+
+  // ---- KG1 schema ---------------------------------------------------------
+  for (size_t c = 0; c < spec.num_classes1; ++c) {
+    kg1.AddClass(StrFormat("Class_%s_%zu", NounFor(c).c_str(), c));
+  }
+  // Each relation gets a set of domain classes and one range class; edges
+  // respect them. Several domain classes per relation (and, below,
+  // per-entity relation subsets) give entities individually varied schema
+  // fingerprints — without this, all entities of a class would share one
+  // signature and the blocking of Sect. 6.1 could not discriminate.
+  constexpr size_t kDomainsPerRelation = 3;
+  std::vector<ClassId> rel_range(spec.num_relations1);
+  std::vector<std::vector<RelationId>> class_relations(spec.num_classes1);
+  // Most real KG relations are (near-)functional — birthPlace, capitalOf —
+  // and those are precisely the relations whose edges let one match infer
+  // another (Example 1.1). 70% of relations allow one edge per head; the
+  // rest up to three.
+  std::vector<size_t> rel_max_out(spec.num_relations1);
+  for (size_t r = 0; r < spec.num_relations1; ++r) {
+    kg1.AddRelation(StrFormat("rel_%s_%zu", VerbFor(r).c_str(), r));
+    rel_range[r] = static_cast<ClassId>(rng.NextZipf(spec.num_classes1, 1.0));
+    rel_max_out[r] = rng.NextBernoulli(0.7) ? 1 : 3;
+    for (size_t k = 0; k < kDomainsPerRelation; ++k) {
+      ClassId domain =
+          static_cast<ClassId>(rng.NextZipf(spec.num_classes1, 0.8));
+      class_relations[domain].push_back(static_cast<RelationId>(r));
+    }
+  }
+  for (auto& rels : class_relations) {
+    std::sort(rels.begin(), rels.end());
+    rels.erase(std::unique(rels.begin(), rels.end()), rels.end());
+  }
+
+  // ---- KG1 entities -------------------------------------------------------
+  // primary_class[e] drives which relations e may emit and which names it
+  // gets; each entity then keeps only a random subset of its class's
+  // relations, so two entities of one class still differ in schema.
+  std::vector<ClassId> primary_class(spec.num_entities1);
+  std::vector<std::vector<EntityId>> class_members(spec.num_classes1);
+  std::vector<std::vector<RelationId>> entity_relations(spec.num_entities1);
+  for (size_t e = 0; e < spec.num_entities1; ++e) {
+    ClassId c = static_cast<ClassId>(rng.NextZipf(spec.num_classes1, 1.0));
+    primary_class[e] = c;
+    std::string cname = NounFor(c);
+    EntityId id = kg1.AddEntity(
+        StrFormat("%s_%zu_%04llx", cname.c_str(), e,
+                  static_cast<unsigned long long>(rng.NextUint64() & 0xFFFF)));
+    class_members[c].push_back(id);
+    kg1.AddTypeTriplet(id, c);
+    if (rng.NextBernoulli(spec.second_class_prob)) {
+      ClassId c2 = static_cast<ClassId>(rng.NextUint64(spec.num_classes1));
+      if (c2 != c) kg1.AddTypeTriplet(id, c2);
+    }
+    const std::vector<RelationId>& cand = class_relations[c];
+    if (!cand.empty()) {
+      // Between 2 and all of the class's relations, so entities of one
+      // class differ in schema while keeping enough edge capacity under
+      // the functionality caps.
+      const size_t lo = std::min<size_t>(2, cand.size());
+      const size_t take = lo + rng.NextUint64(cand.size() - lo + 1);
+      std::vector<size_t> picks =
+          rng.SampleWithoutReplacement(cand.size(), std::min(take, cand.size()));
+      for (size_t p : picks) entity_relations[e].push_back(cand[p]);
+    }
+  }
+
+  // ---- KG1 edges ----------------------------------------------------------
+  // Every entity emits >= 1 edge; total edge count ~ avg_degree * |E1|.
+  // Tail drawn by popularity (zipf over the range class members).
+  std::vector<Triplet> forward_edges;  // remembered for KG2 derivation
+  const size_t total_edges =
+      static_cast<size_t>(spec.avg_degree * static_cast<double>(spec.num_entities1));
+  size_t edges_made = 0;
+  // Edges emitted so far per (head, relation): functionality enforcement.
+  std::unordered_map<uint64_t, size_t> out_count;
+  for (size_t e = 0; e < spec.num_entities1 || edges_made < total_edges; ++e) {
+    if (e >= spec.num_entities1 * 64) break;  // capacity exhausted
+    size_t ent = e % spec.num_entities1;
+    // First sweep guarantees one edge per entity; subsequent sweeps fill up
+    // to the target count with popularity-skewed heads.
+    if (e >= spec.num_entities1) {
+      ent = rng.NextZipf(spec.num_entities1, spec.popularity_zipf);
+    }
+    const std::vector<RelationId>& candidates = entity_relations[ent];
+    RelationId r =
+        candidates.empty()
+            ? static_cast<RelationId>(rng.NextUint64(spec.num_relations1))
+            : candidates[rng.NextUint64(candidates.size())];
+    const uint64_t slot_key = (static_cast<uint64_t>(ent) << 32) | r;
+    if (out_count[slot_key] >= rel_max_out[r]) continue;
+    const std::vector<EntityId>& pool = class_members[rel_range[r]].empty()
+                                            ? class_members[primary_class[ent]]
+                                            : class_members[rel_range[r]];
+    if (pool.empty()) continue;
+    EntityId tail = pool[rng.NextZipf(pool.size(), spec.popularity_zipf)];
+    if (tail == static_cast<EntityId>(ent)) continue;
+    kg1.AddTriplet(static_cast<EntityId>(ent), r, tail);
+    forward_edges.push_back(
+        Triplet{static_cast<EntityId>(ent), r, tail});
+    ++out_count[slot_key];
+    ++edges_made;
+  }
+
+  // ---- choose matched elements -------------------------------------------
+  // Matched entities: a random subset of E1 of size |E2|; every KG2 entity
+  // is matched, KG1 keeps (|E1| - |E2|) dangling entities.
+  std::vector<size_t> perm = rng.SampleWithoutReplacement(
+      spec.num_entities1, spec.num_entities2);
+  std::vector<EntityId> kg2_of_kg1(spec.num_entities1, kInvalidId);
+
+  // Matched relations: the most frequent base relations keep counterparts so
+  // KG2 stays connected; the rest of KG2's relation budget is dangling.
+  std::vector<size_t> rel_freq(spec.num_relations1, 0);
+  for (const Triplet& t : forward_edges) ++rel_freq[t.relation];
+  std::vector<size_t> rel_order(spec.num_relations1);
+  std::iota(rel_order.begin(), rel_order.end(), 0);
+  std::sort(rel_order.begin(), rel_order.end(),
+            [&rel_freq](size_t a, size_t b) { return rel_freq[a] > rel_freq[b]; });
+  std::vector<RelationId> rel2_of_rel1(spec.num_relations1, kInvalidId);
+
+  std::vector<size_t> cls_freq(spec.num_classes1, 0);
+  for (size_t c = 0; c < spec.num_classes1; ++c) {
+    cls_freq[c] = class_members[c].size();
+  }
+  std::vector<size_t> cls_order(spec.num_classes1);
+  std::iota(cls_order.begin(), cls_order.end(), 0);
+  std::sort(cls_order.begin(), cls_order.end(),
+            [&cls_freq](size_t a, size_t b) { return cls_freq[a] > cls_freq[b]; });
+  std::vector<ClassId> cls2_of_cls1(spec.num_classes1, kInvalidId);
+
+  // ---- KG2 schema ---------------------------------------------------------
+  // kOpaqueIds applies to *entities* only: in the real D-W dataset the
+  // Wikidata entities are opaque Q-ids but classes and properties carry
+  // English labels (which is why lexical class aligners still work there).
+  auto make_name2 = [&spec, &rng](const std::string& name1,
+                                  const char* opaque_prefix, size_t index,
+                                  bool is_entity) -> std::string {
+    NamePolicy policy = spec.name_policy;
+    if (policy == NamePolicy::kOpaqueIds && !is_entity) {
+      policy = NamePolicy::kSharedNames;
+    }
+    switch (policy) {
+      case NamePolicy::kSharedNames:
+        // Light perturbation: same stem, different suffix.
+        return name1 + "_y";
+      case NamePolicy::kOpaqueIds:
+        return StrFormat("%s%zu_%06llu", opaque_prefix, index,
+                         static_cast<unsigned long long>(
+                             rng.NextUint64(1000000)));
+      case NamePolicy::kObfuscated:
+        return ObfuscateName(name1);
+    }
+    return name1;
+  };
+
+  for (size_t i = 0; i < spec.num_class_matches; ++i) {
+    ClassId c1 = static_cast<ClassId>(cls_order[i]);
+    ClassId c2 = kg2.AddClass(
+        make_name2(kg1.class_name(c1), "QC", i, /*is_entity=*/false));
+    cls2_of_cls1[c1] = c2;
+    task.gold_classes.emplace_back(c1, c2);
+  }
+  for (size_t i = spec.num_class_matches; i < spec.num_classes2; ++i) {
+    kg2.AddClass(StrFormat("Class2only_%s_%zu", NounFor(i + 7).c_str(), i));
+  }
+
+  for (size_t i = 0; i < spec.num_relation_matches; ++i) {
+    RelationId r1 = static_cast<RelationId>(rel_order[i]);
+    RelationId r2 = kg2.AddRelation(
+        make_name2(kg1.relation_name(r1), "QP", i, /*is_entity=*/false));
+    rel2_of_rel1[r1] = r2;
+    task.gold_relations.emplace_back(r1, r2);
+  }
+  std::vector<RelationId> dangling_rels2;
+  for (size_t i = spec.num_relation_matches; i < spec.num_relations2; ++i) {
+    dangling_rels2.push_back(
+        kg2.AddRelation(StrFormat("rel2only_%s_%zu", VerbFor(i + 5).c_str(), i)));
+  }
+
+  // ---- KG2 entities -------------------------------------------------------
+  for (size_t i = 0; i < spec.num_entities2; ++i) {
+    EntityId e1 = static_cast<EntityId>(perm[i]);
+    EntityId e2 = kg2.AddEntity(
+        make_name2(kg1.entity_name(e1), "Q", i, /*is_entity=*/true));
+    kg2_of_kg1[e1] = e2;
+    task.gold_entities.emplace_back(e1, e2);
+    // Type edges: copy matched-class memberships with type_keep_prob.
+    for (ClassId c1 = 0; c1 < spec.num_classes1; ++c1) {
+      // Membership copy is driven off the KG1 type triplets below.
+      (void)c1;
+    }
+  }
+  // Copy type triplets.
+  for (const TypeTriplet& t : kg1.type_triplets()) {
+    EntityId e2 = kg2_of_kg1[t.entity];
+    if (e2 == kInvalidId) continue;
+    ClassId c2 = cls2_of_cls1[t.cls];
+    if (c2 == kInvalidId) {
+      // Occasionally re-home to a dangling KG2 class so those classes are
+      // populated.
+      if (spec.num_class_matches < spec.num_classes2 &&
+          rng.NextBernoulli(0.5)) {
+        ClassId dangling = static_cast<ClassId>(
+            spec.num_class_matches +
+            rng.NextUint64(spec.num_classes2 - spec.num_class_matches));
+        kg2.AddTypeTriplet(e2, dangling);
+      }
+      continue;
+    }
+    if (rng.NextBernoulli(spec.type_keep_prob)) {
+      kg2.AddTypeTriplet(e2, c2);
+    }
+  }
+
+  // ---- KG2 edges ----------------------------------------------------------
+  size_t copied = 0;
+  for (const Triplet& t : forward_edges) {
+    EntityId h2 = kg2_of_kg1[t.head];
+    EntityId t2 = kg2_of_kg1[t.tail];
+    if (h2 == kInvalidId || t2 == kInvalidId) continue;
+    RelationId r2 = rel2_of_rel1[t.relation];
+    if (r2 == kInvalidId) {
+      // Edge of a dangling KG1 relation: sometimes re-label it with a
+      // dangling KG2 relation so both sides have unmatched structure.
+      if (!dangling_rels2.empty() && rng.NextBernoulli(0.5)) {
+        kg2.AddTriplet(h2, dangling_rels2[rng.NextUint64(dangling_rels2.size())],
+                       t2);
+      }
+      continue;
+    }
+    if (!rng.NextBernoulli(spec.edge_keep_prob)) continue;
+    if (rng.NextBernoulli(spec.edge_rewire_prob)) {
+      // Rewire the tail to a random KG2 entity (structure noise).
+      t2 = static_cast<EntityId>(rng.NextUint64(spec.num_entities2));
+    }
+    kg2.AddTriplet(h2, r2, t2);
+    ++copied;
+  }
+  // Extra KG2-only edges.
+  const size_t extra =
+      static_cast<size_t>(spec.extra_edge_frac * static_cast<double>(copied));
+  const size_t num_rels2_total = spec.num_relations2;
+  for (size_t i = 0; i < extra; ++i) {
+    EntityId h = static_cast<EntityId>(rng.NextUint64(spec.num_entities2));
+    EntityId t = static_cast<EntityId>(rng.NextUint64(spec.num_entities2));
+    if (h == t) continue;
+    RelationId r = static_cast<RelationId>(rng.NextUint64(num_rels2_total));
+    kg2.AddTriplet(h, r, t);
+  }
+
+  DAAKG_RETURN_IF_ERROR(kg1.Finalize());
+  DAAKG_RETURN_IF_ERROR(kg2.Finalize());
+  task.BuildGoldIndex();
+  return task;
+}
+
+}  // namespace daakg

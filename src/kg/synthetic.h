@@ -1,0 +1,87 @@
+#ifndef DAAKG_KG_SYNTHETIC_H_
+#define DAAKG_KG_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "kg/alignment_task.h"
+
+namespace daakg {
+
+// How KG2 element names relate to KG1 names. Controls how much signal
+// lexical baselines (AttrE/MultiKE/BERTMap analogues) get, mirroring the
+// real benchmark datasets:
+//   kSharedNames — KG2 names are light perturbations of KG1 names
+//                  (DBpedia-YAGO: high lexical overlap).
+//   kOpaqueIds   — KG2 names are opaque identifiers
+//                  (DBpedia-Wikidata: Q-ids carry no lexical signal).
+//   kObfuscated  — deterministic character-level "translation" that destroys
+//                  n-gram overlap (EN-DE / EN-FR cross-lingual analogues).
+enum class NamePolicy { kSharedNames, kOpaqueIds, kObfuscated };
+
+// Parameters of the synthetic KG-pair generator. The generator first builds
+// KG1 with class-coherent relational structure (every relation has a domain
+// and a range class; tails are drawn from the range class), then derives KG2
+// from a subset of KG1's entities with edge noise, producing gold
+// entity/relation/class matches as a by-product.
+//
+// Dangling elements (paper Sect. 4.2 / dataset protocol of [38]):
+//   * entities: KG1 has num_entities1 - num_entities2 entities with no
+//     counterpart (the paper removes 30% of the second KG);
+//   * relations/classes: both sides keep elements without counterparts,
+//     controlled by num_relation_matches / num_class_matches.
+struct SyntheticKgSpec {
+  std::string name = "synthetic";
+
+  size_t num_entities1 = 1000;
+  size_t num_entities2 = 700;  // every KG2 entity has a KG1 counterpart
+  size_t num_relations1 = 40;
+  size_t num_relations2 = 26;
+  size_t num_relation_matches = 20;
+  size_t num_classes1 = 17;
+  size_t num_classes2 = 12;
+  size_t num_class_matches = 10;
+
+  double avg_degree = 8.0;      // forward relational edges per KG1 entity
+  // Tail-popularity skew. Mild by default: heavily skewed tails make
+  // neighborhoods non-discriminative (every entity points at the same few
+  // hubs) and the alignment task degenerates.
+  double popularity_zipf = 0.4;
+  double second_class_prob = 0.3;  // chance an entity has a second class
+
+  double edge_keep_prob = 0.85;   // prob. a copyable KG1 edge appears in KG2
+  double edge_rewire_prob = 0.05; // prob. a copied edge's tail is rewired
+  double extra_edge_frac = 0.10;  // extra KG2-only edges (fraction of copied)
+  double type_keep_prob = 0.90;   // prob. a type edge is copied to KG2
+
+  NamePolicy name_policy = NamePolicy::kSharedNames;
+  uint64_t seed = 7;
+};
+
+// Generates a full alignment task from `spec`. Returns InvalidArgument on
+// inconsistent parameters (e.g. more matches than elements).
+StatusOr<AlignmentTask> GenerateSyntheticTask(const SyntheticKgSpec& spec);
+
+// The four benchmark-dataset analogues of the paper's Table 2 (DBpedia-
+// Wikidata, DBpedia-YAGO, EN-DE and EN-FR DBpedia). `scale` multiplies the
+// entity counts (1.0 => 2000 vs 1400 entities); relation/class counts follow
+// the paper's ratios and are only mildly affected by scale.
+enum class BenchmarkDataset { kDW, kDY, kEnDe, kEnFr };
+
+const char* BenchmarkDatasetName(BenchmarkDataset dataset);
+
+SyntheticKgSpec BenchmarkSpec(BenchmarkDataset dataset, double scale,
+                              uint64_t seed);
+
+StatusOr<AlignmentTask> MakeBenchmarkTask(BenchmarkDataset dataset,
+                                          double scale, uint64_t seed);
+
+// Deterministic "translation" used by NamePolicy::kObfuscated; exposed for
+// tests. Maps every letter through a fixed substitution and appends a
+// language-like suffix, so n-gram similarity with the input collapses.
+std::string ObfuscateName(const std::string& name);
+
+}  // namespace daakg
+
+#endif  // DAAKG_KG_SYNTHETIC_H_

@@ -1,0 +1,156 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daakg {
+
+Vector Matrix::Row(size_t r) const {
+  DAAKG_CHECK_LT(r, rows_);
+  Vector out(cols_);
+  const float* src = RowData(r);
+  for (size_t c = 0; c < cols_; ++c) out[c] = src[c];
+  return out;
+}
+
+void Matrix::SetRow(size_t r, const Vector& v) {
+  DAAKG_CHECK_LT(r, rows_);
+  DAAKG_CHECK_EQ(v.dim(), cols_);
+  float* dst = RowData(r);
+  for (size_t c = 0; c < cols_; ++c) dst[c] = v[c];
+}
+
+void Matrix::RowAxpy(size_t r, float alpha, const Vector& v) {
+  DAAKG_CHECK_LT(r, rows_);
+  DAAKG_CHECK_EQ(v.dim(), cols_);
+  float* dst = RowData(r);
+  for (size_t c = 0; c < cols_; ++c) dst[c] += alpha * v[c];
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::SetIdentity() {
+  DAAKG_CHECK_EQ(rows_, cols_);
+  SetZero();
+  for (size_t i = 0; i < rows_; ++i) (*this)(i, i) = 1.0f;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  DAAKG_CHECK_EQ(rows_, other.rows_);
+  DAAKG_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  DAAKG_CHECK_EQ(rows_, other.rows_);
+  DAAKG_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+void Matrix::Axpy(float alpha, const Matrix& other) {
+  DAAKG_CHECK_EQ(rows_, other.rows_);
+  DAAKG_CHECK_EQ(cols_, other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+Vector Matrix::Multiply(const Vector& x) const {
+  DAAKG_CHECK_EQ(x.dim(), cols_);
+  Vector y(rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* row = RowData(r);
+    double acc = 0.0;
+    for (size_t c = 0; c < cols_; ++c) {
+      acc += static_cast<double>(row[c]) * x[c];
+    }
+    y[r] = static_cast<float>(acc);
+  }
+  return y;
+}
+
+Vector Matrix::TransposeMultiply(const Vector& x) const {
+  DAAKG_CHECK_EQ(x.dim(), rows_);
+  Vector y(cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float* row = RowData(r);
+    const float xr = x[r];
+    if (xr == 0.0f) continue;
+    for (size_t c = 0; c < cols_; ++c) y[c] += xr * row[c];
+  }
+  return y;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  DAAKG_CHECK_EQ(cols_, other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    const float* a_row = RowData(i);
+    float* out_row = out.RowData(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const float a = a_row[k];
+      if (a == 0.0f) continue;
+      const float* b_row = other.RowData(k);
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out_row[j] += a * b_row[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) {
+      out(c, r) = (*this)(r, c);
+    }
+  }
+  return out;
+}
+
+void Matrix::AddOuter(float alpha, const Vector& a, const Vector& b) {
+  DAAKG_CHECK_EQ(a.dim(), rows_);
+  DAAKG_CHECK_EQ(b.dim(), cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const float ar = alpha * a[r];
+    if (ar == 0.0f) continue;
+    float* row = RowData(r);
+    for (size_t c = 0; c < cols_; ++c) row[c] += ar * b[c];
+  }
+}
+
+float Matrix::Norm() const {
+  double acc = 0.0;
+  for (float v : data_) acc += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+void Matrix::InitUniform(Rng* rng, float scale) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng->NextDouble(-scale, scale));
+  }
+}
+
+void Matrix::InitGaussian(Rng* rng, float stddev) {
+  for (auto& v : data_) {
+    v = static_cast<float>(rng->NextGaussian() * stddev);
+  }
+}
+
+void Matrix::InitXavier(Rng* rng) {
+  if (data_.empty()) return;
+  float scale = std::sqrt(6.0f / static_cast<float>(rows_ + cols_));
+  InitUniform(rng, scale);
+}
+
+}  // namespace daakg

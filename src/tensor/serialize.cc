@@ -1,0 +1,87 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+namespace daakg {
+namespace {
+
+constexpr char kVectorMagic[4] = {'D', 'K', 'V', '1'};
+constexpr char kMatrixMagic[4] = {'D', 'K', 'M', '1'};
+
+Status WriteBytes(std::ofstream& out, const void* data, size_t n) {
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out) return IoError("short write");
+  return Status::Ok();
+}
+
+Status ReadBytes(std::ifstream& in, void* data, size_t n) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (!in) return IoError("short read");
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveVector(const Vector& v, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return IoError("cannot open for writing: " + path);
+  DAAKG_RETURN_IF_ERROR(WriteBytes(out, kVectorMagic, 4));
+  uint64_t dim = v.dim();
+  DAAKG_RETURN_IF_ERROR(WriteBytes(out, &dim, sizeof(dim)));
+  DAAKG_RETURN_IF_ERROR(WriteBytes(out, v.data(), dim * sizeof(float)));
+  return Status::Ok();
+}
+
+StatusOr<Vector> LoadVector(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open for reading: " + path);
+  char magic[4];
+  DAAKG_RETURN_IF_ERROR(ReadBytes(in, magic, 4));
+  if (std::memcmp(magic, kVectorMagic, 4) != 0) {
+    return InvalidArgumentError("not a vector file: " + path);
+  }
+  uint64_t dim = 0;
+  DAAKG_RETURN_IF_ERROR(ReadBytes(in, &dim, sizeof(dim)));
+  Vector v(dim);
+  DAAKG_RETURN_IF_ERROR(ReadBytes(in, v.data(), dim * sizeof(float)));
+  return v;
+}
+
+Status SaveMatrix(const Matrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return IoError("cannot open for writing: " + path);
+  DAAKG_RETURN_IF_ERROR(WriteBytes(out, kMatrixMagic, 4));
+  uint64_t rows = m.rows();
+  uint64_t cols = m.cols();
+  DAAKG_RETURN_IF_ERROR(WriteBytes(out, &rows, sizeof(rows)));
+  DAAKG_RETURN_IF_ERROR(WriteBytes(out, &cols, sizeof(cols)));
+  if (rows * cols > 0) {
+    DAAKG_RETURN_IF_ERROR(
+        WriteBytes(out, m.RowData(0), rows * cols * sizeof(float)));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Matrix> LoadMatrix(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return IoError("cannot open for reading: " + path);
+  char magic[4];
+  DAAKG_RETURN_IF_ERROR(ReadBytes(in, magic, 4));
+  if (std::memcmp(magic, kMatrixMagic, 4) != 0) {
+    return InvalidArgumentError("not a matrix file: " + path);
+  }
+  uint64_t rows = 0;
+  uint64_t cols = 0;
+  DAAKG_RETURN_IF_ERROR(ReadBytes(in, &rows, sizeof(rows)));
+  DAAKG_RETURN_IF_ERROR(ReadBytes(in, &cols, sizeof(cols)));
+  Matrix m(rows, cols);
+  if (rows * cols > 0) {
+    DAAKG_RETURN_IF_ERROR(
+        ReadBytes(in, m.RowData(0), rows * cols * sizeof(float)));
+  }
+  return m;
+}
+
+}  // namespace daakg

@@ -1,0 +1,23 @@
+#ifndef DAAKG_TENSOR_SERIALIZE_H_
+#define DAAKG_TENSOR_SERIALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tensor/matrix.h"
+#include "tensor/vector.h"
+
+namespace daakg {
+
+// Binary format: little-endian uint64 dims followed by raw float32 data,
+// prefixed with a 4-byte magic so mismatched files fail fast.
+
+Status SaveVector(const Vector& v, const std::string& path);
+StatusOr<Vector> LoadVector(const std::string& path);
+
+Status SaveMatrix(const Matrix& m, const std::string& path);
+StatusOr<Matrix> LoadMatrix(const std::string& path);
+
+}  // namespace daakg
+
+#endif  // DAAKG_TENSOR_SERIALIZE_H_

@@ -1,0 +1,345 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "align/joint_model.h"
+#include "align/losses.h"
+#include "align/metrics.h"
+#include "embedding/trainer.h"
+#include "tests/test_util.h"
+
+namespace daakg {
+namespace {
+
+using testing_util::MirrorTask;
+using testing_util::SmallSyntheticTask;
+
+// ---------------------------------------------------------------------------
+// Losses
+// ---------------------------------------------------------------------------
+
+TEST(LossTest, SoftmaxContrastiveProbability) {
+  ContrastiveGrad g = SoftmaxContrastive(1.0, {1.0, 1.0}, 1.0);
+  EXPECT_NEAR(g.p_pos, 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(g.loss, -std::log(1.0 / 3.0), 1e-9);
+}
+
+TEST(LossTest, HigherPositiveScoreLowersLoss) {
+  double lo = SoftmaxContrastive(0.1, {0.5, 0.5}, 10.0).loss;
+  double hi = SoftmaxContrastive(0.9, {0.5, 0.5}, 10.0).loss;
+  EXPECT_LT(hi, lo);
+}
+
+TEST(LossTest, GradientSignsPullPositiveUpNegativesDown) {
+  ContrastiveGrad g = SoftmaxContrastive(0.5, {0.4, 0.6}, 10.0);
+  EXPECT_LT(g.d_pos, 0.0);  // descending loss raises s_pos
+  for (double dn : g.d_negs) EXPECT_GT(dn, 0.0);
+}
+
+TEST(LossTest, SoftmaxContrastiveGradMatchesFiniteDifference) {
+  const std::vector<double> negs = {0.2, -0.1, 0.45};
+  const double sharp = 7.0;
+  const double s_pos = 0.3;
+  ContrastiveGrad g = SoftmaxContrastive(s_pos, negs, sharp);
+
+  const double eps = 1e-6;
+  double num_dpos = (SoftmaxContrastive(s_pos + eps, negs, sharp).loss -
+                     SoftmaxContrastive(s_pos - eps, negs, sharp).loss) /
+                    (2 * eps);
+  EXPECT_NEAR(g.d_pos, num_dpos, 1e-4);
+  for (size_t j = 0; j < negs.size(); ++j) {
+    auto negs_hi = negs;
+    auto negs_lo = negs;
+    negs_hi[j] += eps;
+    negs_lo[j] -= eps;
+    double num = (SoftmaxContrastive(s_pos, negs_hi, sharp).loss -
+                  SoftmaxContrastive(s_pos, negs_lo, sharp).loss) /
+                 (2 * eps);
+    EXPECT_NEAR(g.d_negs[j], num, 1e-4);
+  }
+}
+
+TEST(LossTest, FocalGradMatchesFiniteDifference) {
+  const std::vector<double> negs = {0.2, 0.6};
+  const double sharp = 5.0;
+  const double gamma = 2.0;
+  const double s_pos = 0.4;
+  ContrastiveGrad g = FocalContrastive(s_pos, negs, sharp, gamma);
+  const double eps = 1e-6;
+  double num_dpos =
+      (FocalContrastive(s_pos + eps, negs, sharp, gamma).loss -
+       FocalContrastive(s_pos - eps, negs, sharp, gamma).loss) /
+      (2 * eps);
+  EXPECT_NEAR(g.d_pos, num_dpos, 1e-4);
+}
+
+TEST(LossTest, FocalDownWeightsWellClassifiedPairs) {
+  // A confidently correct pair (p ~ 1) contributes almost nothing under
+  // focal loss, but its plain softmax loss is positive.
+  ContrastiveGrad plain = SoftmaxContrastive(0.95, {0.0}, 20.0);
+  ContrastiveGrad focal = FocalContrastive(0.95, {0.0}, 20.0, 2.0);
+  EXPECT_LT(focal.loss, plain.loss);
+  EXPECT_LT(focal.loss, 1e-4);
+}
+
+TEST(LossTest, FocalMatchesPlainAtGammaZero) {
+  ContrastiveGrad plain = SoftmaxContrastive(0.3, {0.5}, 10.0);
+  ContrastiveGrad focal = FocalContrastive(0.3, {0.5}, 10.0, 0.0);
+  EXPECT_NEAR(plain.loss, focal.loss, 1e-9);
+  EXPECT_NEAR(plain.d_pos, focal.d_pos, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+Matrix DiagonalSim(size_t n, float diag, float off) {
+  Matrix m(n, n, off);
+  for (size_t i = 0; i < n; ++i) m(i, i) = diag;
+  return m;
+}
+
+TEST(MetricsTest, PerfectDiagonalRanking) {
+  Matrix sim = DiagonalSim(5, 0.9f, 0.1f);
+  std::vector<std::pair<uint32_t, uint32_t>> test = {{0, 0}, {3, 3}};
+  RankingMetrics m = EvaluateRanking(sim, test);
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 1.0);
+  EXPECT_DOUBLE_EQ(m.mrr, 1.0);
+  EXPECT_EQ(m.num_queries, 2u);
+}
+
+TEST(MetricsTest, RankCountsStrictlyBetterOnly) {
+  Matrix sim(1, 3);
+  sim(0, 0) = 0.5f;
+  sim(0, 1) = 0.9f;
+  sim(0, 2) = 0.5f;  // tie with target does not worsen rank
+  RankingMetrics m = EvaluateRanking(sim, {{0, 0}});
+  EXPECT_DOUBLE_EQ(m.mrr, 0.5);  // rank 2
+}
+
+TEST(MetricsTest, EmptyTestSetYieldsZeroQueries) {
+  Matrix sim = DiagonalSim(3, 1.0f, 0.0f);
+  RankingMetrics m = EvaluateRanking(sim, {});
+  EXPECT_EQ(m.num_queries, 0u);
+  EXPECT_DOUBLE_EQ(m.hits_at_1, 0.0);
+}
+
+TEST(MetricsTest, GreedyMatchingIsOneToOne) {
+  Matrix sim(3, 3, 0.9f);  // everything similar: greedy must still be 1-1
+  auto matches = GreedyOneToOneMatches(sim, 0.5f);
+  EXPECT_EQ(matches.size(), 3u);
+  std::set<uint32_t> rows, cols;
+  for (auto& [r, c] : matches) {
+    EXPECT_TRUE(rows.insert(r).second);
+    EXPECT_TRUE(cols.insert(c).second);
+  }
+}
+
+TEST(MetricsTest, GreedyMatchingRespectsThreshold) {
+  Matrix sim(2, 2, 0.1f);
+  sim(0, 0) = 0.8f;
+  auto matches = GreedyOneToOneMatches(sim, 0.5f);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (std::pair<uint32_t, uint32_t>{0, 0}));
+}
+
+TEST(MetricsTest, GreedyMatchingPrefersHigherSimilarity) {
+  Matrix sim(2, 1);
+  sim(0, 0) = 0.6f;
+  sim(1, 0) = 0.9f;  // row 1 wins the only column
+  auto matches = GreedyOneToOneMatches(sim, 0.5f);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].first, 1u);
+}
+
+TEST(MetricsTest, PrfComputation) {
+  Matrix sim = DiagonalSim(4, 0.9f, 0.0f);
+  sim(0, 1) = 0.95f;  // creates one wrong greedy match (0,1)
+  std::vector<std::pair<uint32_t, uint32_t>> gold = {
+      {0, 0}, {1, 1}, {2, 2}, {3, 3}};
+  PrfMetrics m = EvaluateGreedyMatching(sim, gold, 0.5f);
+  // Greedy: (0,1) first, then (2,2), (3,3); (1,1) blocked by used col? No:
+  // col 1 used by (0,1), so row 1 can still take col 0? sim(1,0)=0 < thr.
+  EXPECT_EQ(m.num_predicted, 3u);
+  EXPECT_EQ(m.num_correct, 2u);
+  EXPECT_NEAR(m.precision, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(m.recall, 0.5, 1e-9);
+  EXPECT_NEAR(m.f1, 2 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5), 1e-9);
+}
+
+TEST(MetricsTest, PerfectPrf) {
+  Matrix sim = DiagonalSim(3, 0.9f, 0.0f);
+  std::vector<std::pair<uint32_t, uint32_t>> gold = {{0, 0}, {1, 1}, {2, 2}};
+  PrfMetrics m = EvaluateGreedyMatching(sim, gold, 0.5f);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Joint alignment model
+// ---------------------------------------------------------------------------
+
+class JointModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    task_ = SmallSyntheticTask();
+    KgeConfig kge;
+    kge.dim = 16;
+    kge.class_dim = 8;
+    kge.epochs = 8;
+    model1_ = MakeKgeModel("transe", &task_.kg1, kge);
+    model2_ = MakeKgeModel("transe", &task_.kg2, kge);
+    ec1_ = std::make_unique<EntityClassModel>(model1_.get(), kge);
+    ec2_ = std::make_unique<EntityClassModel>(model2_.get(), kge);
+    JointAlignConfig cfg;
+    cfg.align_epochs = 10;
+    joint_ = std::make_unique<JointAlignmentModel>(
+        model1_.get(), model2_.get(), ec1_.get(), ec2_.get(), cfg);
+    Rng rng(44);
+    model1_->Init(&rng);
+    model2_->Init(&rng);
+    ec1_->Init(&rng);
+    ec2_->Init(&rng);
+    joint_->Init(&rng);
+    KgeTrainer t1(model1_.get(), ec1_.get());
+    KgeTrainer t2(model2_.get(), ec2_.get());
+    Rng r1(45), r2(46);
+    t1.Train(&r1);
+    t2.Train(&r2);
+  }
+
+  AlignmentTask task_;
+  std::unique_ptr<KgeModel> model1_, model2_;
+  std::unique_ptr<EntityClassModel> ec1_, ec2_;
+  std::unique_ptr<JointAlignmentModel> joint_;
+};
+
+TEST_F(JointModelTest, SimilaritiesBounded) {
+  joint_->RefreshCaches();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_GE(joint_->EntitySim(i, i), -1.0f - 1e-5f);
+    EXPECT_LE(joint_->EntitySim(i, i), 1.0f + 1e-5f);
+  }
+  EXPECT_LE(joint_->RelationSim(0, 0), 1.0f + 1e-5f);
+  EXPECT_LE(joint_->ClassSim(0, 0), 1.0f + 1e-5f);
+}
+
+TEST_F(JointModelTest, CachedEntitySimMatchesFreshComputation) {
+  joint_->RefreshCaches();
+  for (uint32_t e1 = 0; e1 < 10; ++e1) {
+    for (uint32_t e2 = 0; e2 < 10; ++e2) {
+      EXPECT_NEAR(joint_->entity_sim()(e1, e2), joint_->EntitySim(e1, e2),
+                  1e-4f);
+    }
+  }
+}
+
+TEST_F(JointModelTest, EntityWeightsAreRowAndColumnMaxima) {
+  joint_->RefreshCaches();
+  const Matrix& sim = joint_->entity_sim();
+  for (uint32_t e1 = 0; e1 < 10; ++e1) {
+    float row_max = -2.0f;
+    for (size_t c = 0; c < sim.cols(); ++c) {
+      row_max = std::max(row_max, sim(e1, c));
+    }
+    EXPECT_NEAR(joint_->EntityWeight1(e1), std::max(row_max, 0.0f), 1e-5f);
+  }
+}
+
+TEST_F(JointModelTest, MeanEmbeddingsHaveEntityDim) {
+  joint_->RefreshCaches();
+  EXPECT_EQ(joint_->RelationMean1(0).dim(), model1_->dim());
+  EXPECT_EQ(joint_->ClassMean1(0).dim(), model1_->dim());
+  EXPECT_GT(joint_->RelationMeanWeightSum1(0), 0.0);
+}
+
+TEST_F(JointModelTest, MatchProbabilityInUnitIntervalAndMinOfDirections) {
+  joint_->RefreshCaches();
+  for (uint32_t e = 0; e < 10; ++e) {
+    ElementPair pair{ElementKind::kEntity, e, e};
+    double p = joint_->MatchProbability(pair);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+  ElementPair rel{ElementKind::kRelation, 0, 0};
+  EXPECT_LE(joint_->MatchProbability(rel), 1.0);
+}
+
+TEST_F(JointModelTest, TrainingRaisesSeedSimilarity) {
+  Rng rng(47);
+  SeedAlignment seed = task_.SampleSeed(0.3, &rng);
+  double before = 0.0;
+  for (auto& [e1, e2] : seed.entities) before += joint_->EntitySim(e1, e2);
+  Rng trng(48);
+  for (int e = 0; e < 20; ++e) joint_->TrainEpoch(seed, &trng, false);
+  double after = 0.0;
+  for (auto& [e1, e2] : seed.entities) after += joint_->EntitySim(e1, e2);
+  EXPECT_GT(after, before);
+}
+
+TEST_F(JointModelTest, TrainEpochInvalidatesCaches) {
+  joint_->RefreshCaches();
+  EXPECT_TRUE(joint_->caches_ready());
+  Rng rng(49);
+  SeedAlignment seed = task_.SampleSeed(0.2, &rng);
+  joint_->TrainEpoch(seed, &rng, false);
+  EXPECT_FALSE(joint_->caches_ready());
+}
+
+TEST_F(JointModelTest, SemiMiningRespectsTauAndOneToOne) {
+  Rng rng(50);
+  SeedAlignment seed = task_.SampleSeed(0.3, &rng);
+  for (int e = 0; e < 20; ++e) joint_->TrainEpoch(seed, &rng, false);
+  joint_->RefreshCaches();
+  auto mined = joint_->MineSemiSupervision();
+  std::set<std::pair<int, uint32_t>> firsts, seconds;
+  for (const auto& [pair, score] : mined) {
+    EXPECT_GT(score, joint_->config().tau);
+    EXPECT_TRUE(firsts.insert({static_cast<int>(pair.kind), pair.first}).second);
+    EXPECT_TRUE(
+        seconds.insert({static_cast<int>(pair.kind), pair.second}).second);
+  }
+}
+
+TEST_F(JointModelTest, FocalEpochRuns) {
+  Rng rng(51);
+  SeedAlignment seed = task_.SampleSeed(0.2, &rng);
+  double loss = joint_->TrainEpoch(seed, &rng, /*focal=*/true);
+  EXPECT_GE(loss, 0.0);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST_F(JointModelTest, SemiEpochPullsMinedPairsUp) {
+  Rng rng(52);
+  SeedAlignment seed = task_.SampleSeed(0.3, &rng);
+  for (int e = 0; e < 10; ++e) joint_->TrainEpoch(seed, &rng, false);
+  joint_->RefreshCaches();
+  std::vector<std::pair<ElementPair, double>> semi = {
+      {ElementPair{ElementKind::kEntity, 1, 1}, 1.0}};
+  float before = joint_->EntitySim(1, 1);
+  for (int e = 0; e < 10; ++e) joint_->TrainSemiEpoch(semi, &rng);
+  EXPECT_GT(joint_->EntitySim(1, 1), before);
+}
+
+TEST(JointModelNoEcTest, ClassSimFallsBackToMeans) {
+  AlignmentTask task = SmallSyntheticTask();
+  KgeConfig kge;
+  kge.dim = 16;
+  kge.epochs = 4;
+  auto m1 = MakeKgeModel("transe", &task.kg1, kge);
+  auto m2 = MakeKgeModel("transe", &task.kg2, kge);
+  Rng rng(53);
+  m1->Init(&rng);
+  m2->Init(&rng);
+  JointAlignConfig cfg;
+  JointAlignmentModel joint(m1.get(), m2.get(), nullptr, nullptr, cfg);
+  joint.Init(&rng);
+  // Without caches there is no class representation at all.
+  EXPECT_FLOAT_EQ(joint.ClassSim(0, 0), 0.0f);
+  joint.RefreshCaches();
+  float sim = joint.ClassSim(0, 0);
+  EXPECT_GE(sim, -1.0f - 1e-5f);
+  EXPECT_LE(sim, 1.0f + 1e-5f);
+}
+
+}  // namespace
+}  // namespace daakg

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "embedding/trainer.h"
+#include "infer/alignment_graph.h"
+#include "infer/inference_power.h"
+#include "tests/test_util.h"
+
+namespace daakg {
+namespace {
+
+using testing_util::MirrorTask;
+
+// Fixture: the handcrafted mirror task with a trained joint model and a
+// pool containing the identity pairs (plus all schema pairs).
+class InferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    task_ = MirrorTask();
+    KgeConfig kge;
+    kge.dim = 8;
+    kge.class_dim = 4;
+    kge.epochs = 30;
+    model1_ = MakeKgeModel("transe", &task_.kg1, kge);
+    model2_ = MakeKgeModel("transe", &task_.kg2, kge);
+    Rng rng(31);
+    model1_->Init(&rng);
+    model2_->Init(&rng);
+    JointAlignConfig cfg;
+    joint_ = std::make_unique<JointAlignmentModel>(
+        model1_.get(), model2_.get(), nullptr, nullptr, cfg);
+    joint_->Init(&rng);
+    KgeTrainer t1(model1_.get(), nullptr);
+    KgeTrainer t2(model2_.get(), nullptr);
+    Rng r1(32), r2(33);
+    t1.Train(&r1);
+    t2.Train(&r2);
+
+    // Pool: all entity pairs (6x6) + all relation pairs + all class pairs.
+    for (uint32_t e1 = 0; e1 < 6; ++e1) {
+      for (uint32_t e2 = 0; e2 < 6; ++e2) {
+        pool_.push_back(ElementPair{ElementKind::kEntity, e1, e2});
+      }
+    }
+    for (uint32_t r1 = 0; r1 < 2; ++r1) {
+      for (uint32_t r2 = 0; r2 < 2; ++r2) {
+        pool_.push_back(ElementPair{ElementKind::kRelation, r1, r2});
+      }
+    }
+    for (uint32_t c1 = 0; c1 < 2; ++c1) {
+      for (uint32_t c2 = 0; c2 < 2; ++c2) {
+        pool_.push_back(ElementPair{ElementKind::kClass, c1, c2});
+      }
+    }
+    joint_->RefreshCaches();
+    graph_ = std::make_unique<AlignmentGraph>(&task_, pool_);
+  }
+
+  InferenceConfig EngineConfig() {
+    InferenceConfig cfg;
+    cfg.power_floor = 0.01;  // keep everything; tests filter themselves
+    cfg.max_hops = 3;
+    // Tests reason about raw costs (Eq. 15/17); disable the bench-oriented
+    // auto-calibration.
+    cfg.auto_calibrate_costs = false;
+    return cfg;
+  }
+
+  AlignmentTask task_;
+  std::unique_ptr<KgeModel> model1_, model2_;
+  std::unique_ptr<JointAlignmentModel> joint_;
+  std::vector<ElementPair> pool_;
+  std::unique_ptr<AlignmentGraph> graph_;
+};
+
+TEST_F(InferTest, GraphIndexesPool) {
+  EXPECT_EQ(graph_->num_nodes(), pool_.size());
+  for (uint32_t i = 0; i < pool_.size(); ++i) {
+    EXPECT_EQ(graph_->IndexOf(pool_[i]), i);
+  }
+  EXPECT_EQ(graph_->IndexOf(ElementPair{ElementKind::kEntity, 99, 99}),
+            kInvalidId);
+}
+
+TEST_F(InferTest, ExpectedRelationalEdgeExists) {
+  // (p0_a, p0_b) --(livesIn, livesIn)--> (c0_a, c0_b): p0 ids are 0, c0 is 3.
+  uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 0, 0});
+  uint32_t dst = graph_->IndexOf(ElementPair{ElementKind::kEntity, 3, 3});
+  uint32_t rel = graph_->IndexOf(ElementPair{ElementKind::kRelation, 0, 0});
+  bool found = false;
+  for (const auto& e : graph_->Out(src)) {
+    if (e.target == dst && e.rel_pair == rel) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InferTest, ReverseEdgeAlsoMaterialized) {
+  // The reverse direction (c0, c0) -> (p0, p0) must exist with the same
+  // base relation-pair label.
+  uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 3, 3});
+  uint32_t dst = graph_->IndexOf(ElementPair{ElementKind::kEntity, 0, 0});
+  bool found = false;
+  for (const auto& e : graph_->Out(src)) {
+    if (e.target == dst) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InferTest, TypeEdgesPointToClassPairs) {
+  uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 0, 0});
+  uint32_t person_pair =
+      graph_->IndexOf(ElementPair{ElementKind::kClass, 0, 0});
+  bool found = false;
+  for (const auto& e : graph_->Out(src)) {
+    if (e.rel_pair == AlignmentGraph::kTypeLabel && e.target == person_pair) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(InferTest, MismatchedDirectionEdgesAreNotCreated) {
+  // An entity pair mixing a forward edge on one side with a reverse edge on
+  // the other must not be linked: check (p0, c0) has no edge to (c0, p0)
+  // labeled by (livesIn, livesIn).
+  uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 0, 3});
+  uint32_t dst = graph_->IndexOf(ElementPair{ElementKind::kEntity, 3, 0});
+  for (const auto& e : graph_->Out(src)) {
+    EXPECT_NE(e.target, dst);
+  }
+}
+
+TEST_F(InferTest, EdgeCostsNonNegativeAndFinite) {
+  InferenceEngine engine(graph_.get(), joint_.get(), EngineConfig());
+  engine.PrecomputeEdgeCosts();
+  for (uint32_t q = 0; q < graph_->num_nodes(); ++q) {
+    const auto& out = graph_->Out(q);
+    for (size_t k = 0; k < out.size(); ++k) {
+      float c = engine.EdgeCost(q, k);
+      if (out[k].rel_pair == AlignmentGraph::kTypeLabel) {
+        EXPECT_TRUE(std::isinf(c));
+      } else {
+        EXPECT_GE(c, 0.0f);
+        EXPECT_TRUE(std::isfinite(c));
+      }
+    }
+  }
+}
+
+TEST_F(InferTest, TransEEdgeCostMatchesManualFormula) {
+  InferenceEngine engine(graph_.get(), joint_.get(), EngineConfig());
+  engine.PrecomputeEdgeCosts();
+  // Edge cost = w_rel (1 - S(r1, r2)) + w_res (d1 + d2) + w_alt (extra
+  // parallel edges); for TransE the d terms are the score residuals.
+  const InferenceConfig cfg = EngineConfig();
+  uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 0, 0});
+  const auto& out = graph_->Out(src);
+  for (size_t k = 0; k < out.size(); ++k) {
+    if (out[k].rel_pair == AlignmentGraph::kTypeLabel) continue;
+    const ElementPair& rel = graph_->pool()[out[k].rel_pair];
+    const ElementPair& dst = graph_->pool()[out[k].target];
+    RelationId r1 = rel.first;
+    if (!task_.kg1.HasTriplet(0, r1, dst.first)) {
+      r1 = task_.kg1.ReverseOf(r1);
+    }
+    RelationId r2 = rel.second;
+    if (!task_.kg2.HasTriplet(0, r2, dst.second)) {
+      r2 = task_.kg2.ReverseOf(r2);
+    }
+    auto parallel = [](const KnowledgeGraph& kg, EntityId h, RelationId r) {
+      size_t n = 0;
+      for (const auto& nb : kg.Neighbors(h)) n += (nb.relation == r);
+      return n;
+    };
+    const float alternatives = static_cast<float>(
+        parallel(task_.kg1, 0, r1) - 1 + parallel(task_.kg2, 0, r2) - 1);
+    float expected =
+        cfg.rel_diff_weight *
+            (1.0f - joint_->relation_sim()(rel.first, rel.second)) +
+        cfg.residual_weight * (model1_->Score(0, r1, dst.first) +
+                               model2_->Score(0, r2, dst.second)) +
+        cfg.alt_penalty * alternatives;
+    EXPECT_NEAR(engine.EdgeCost(src, k), expected, 1e-3f);
+  }
+}
+
+TEST_F(InferTest, PowerFromEntityReachesNeighborsWithinHops) {
+  InferenceEngine engine(graph_.get(), joint_.get(), EngineConfig());
+  engine.PrecomputeEdgeCosts();
+  uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 0, 0});
+  PowerRow row = engine.PowerFrom(src);
+  // Powers must be in (0, 1] and must not include the source itself.
+  for (const auto& [node, power] : row) {
+    EXPECT_NE(node, src);
+    EXPECT_GT(power, 0.0f);
+    EXPECT_LE(power, 1.0f);
+  }
+}
+
+TEST_F(InferTest, MultiHopPowerIsNotGreaterThanOneHop) {
+  InferenceEngine engine(graph_.get(), joint_.get(), EngineConfig());
+  engine.PrecomputeEdgeCosts();
+  // p0 -> c0 is one hop; p0 -> p1 -> ... : any two-hop target's power must
+  // be <= the max single-edge power (costs add up).
+  uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 0, 0});
+  PowerRow row = engine.PowerFrom(src);
+  float best_onehop = 0.0f;
+  const auto& out = graph_->Out(src);
+  for (size_t k = 0; k < out.size(); ++k) {
+    if (out[k].rel_pair == AlignmentGraph::kTypeLabel) continue;
+    best_onehop =
+        std::max(best_onehop, 1.0f / (1.0f + engine.EdgeCost(src, k)));
+  }
+  for (const auto& [node, power] : row) {
+    if (graph_->pool()[node].kind == ElementKind::kEntity) {
+      EXPECT_LE(power, best_onehop + 1e-5f);
+    }
+  }
+}
+
+TEST_F(InferTest, ClassPairSourceHasNoOutgoingPower) {
+  InferenceEngine engine(graph_.get(), joint_.get(), EngineConfig());
+  engine.PrecomputeEdgeCosts();
+  uint32_t cls = graph_->IndexOf(ElementPair{ElementKind::kClass, 0, 0});
+  EXPECT_TRUE(engine.PowerFrom(cls).empty());
+}
+
+TEST_F(InferTest, GradientPowerZeroForNonMembers) {
+  InferenceEngine engine(graph_.get(), joint_.get(), EngineConfig());
+  engine.PrecomputeEdgeCosts();
+  // p0 (class Person=0) has no membership in City (=1) on either side.
+  float p = engine.PowerEntityToClass(
+      ElementPair{ElementKind::kEntity, 0, 0},
+      ElementPair{ElementKind::kClass, 1, 1});
+  EXPECT_FLOAT_EQ(p, 0.0f);
+}
+
+TEST_F(InferTest, GradientPowersBounded) {
+  InferenceEngine engine(graph_.get(), joint_.get(), EngineConfig());
+  engine.PrecomputeEdgeCosts();
+  float pc = engine.PowerEntityToClass(
+      ElementPair{ElementKind::kEntity, 0, 0},
+      ElementPair{ElementKind::kClass, 0, 0});
+  EXPECT_GE(pc, 0.0f);
+  EXPECT_LE(pc, 1.0f);
+  float pr = engine.PowerEntityToRelation(
+      ElementPair{ElementKind::kEntity, 0, 0},
+      ElementPair{ElementKind::kRelation, 0, 0},
+      ElementPair{ElementKind::kEntity, 3, 3});
+  EXPECT_GE(pr, 0.0f);
+  EXPECT_LE(pr, 1.0f);
+}
+
+TEST_F(InferTest, OneHopPowersMatchEdgeCosts) {
+  InferenceEngine engine(graph_.get(), joint_.get(), EngineConfig());
+  engine.PrecomputeEdgeCosts();
+  uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 0, 0});
+  auto onehop = engine.OneHopPowers(src);
+  const auto& out = graph_->Out(src);
+  for (const auto& hp : onehop) {
+    // Find the matching edge and verify the power.
+    bool matched = false;
+    for (size_t k = 0; k < out.size(); ++k) {
+      if (out[k].target != hp.target || out[k].rel_pair != hp.label) continue;
+      if (hp.label == AlignmentGraph::kTypeLabel) {
+        matched = true;  // gradient power, checked elsewhere
+      } else if (std::fabs(hp.power -
+                           1.0f / (1.0f + engine.EdgeCost(src, k))) < 1e-5f) {
+        matched = true;
+      }
+      if (matched) break;
+    }
+    EXPECT_TRUE(matched);
+  }
+}
+
+TEST_F(InferTest, RelationPairSourceUsesLikelyMatches) {
+  InferenceConfig cfg = EngineConfig();
+  cfg.likely_match_prob = 0.0;  // treat every source pair as likely
+  InferenceEngine engine(graph_.get(), joint_.get(), cfg);
+  engine.PrecomputeEdgeCosts();
+  uint32_t rel = graph_->IndexOf(ElementPair{ElementKind::kRelation, 0, 0});
+  PowerRow row = engine.PowerFrom(rel);
+  EXPECT_FALSE(row.empty());
+  for (const auto& [node, power] : row) {
+    EXPECT_EQ(graph_->pool()[node].kind, ElementKind::kEntity);
+    EXPECT_GT(power, 0.0f);
+    EXPECT_LE(power, 1.0f);
+  }
+}
+
+TEST_F(InferTest, AutoCalibrationLiftsGoodEdgesAboveKappa) {
+  InferenceConfig cfg = EngineConfig();
+  cfg.auto_calibrate_costs = true;
+  cfg.calibration_percentile = 0.2;
+  InferenceEngine engine(graph_.get(), joint_.get(), cfg);
+  engine.PrecomputeEdgeCosts();
+  size_t finite = 0, strong = 0;
+  for (uint32_t q = 0; q < graph_->num_nodes(); ++q) {
+    for (size_t k = 0; k < graph_->Out(q).size(); ++k) {
+      const float c = engine.EdgeCost(q, k);
+      if (!std::isfinite(c)) continue;
+      ++finite;
+      if (1.0f / (1.0f + c) >= 0.85f) ++strong;
+    }
+  }
+  ASSERT_GT(finite, 0u);
+  // The 20th percentile is calibrated to power ~0.9, so at least ~15% of
+  // edges must clear 0.85.
+  EXPECT_GE(static_cast<double>(strong) / static_cast<double>(finite), 0.15);
+}
+
+TEST_F(InferTest, HigherPowerFloorPrunesMore) {
+  InferenceConfig loose = EngineConfig();
+  InferenceConfig strict = EngineConfig();
+  strict.power_floor = 0.8;
+  InferenceEngine e1(graph_.get(), joint_.get(), loose);
+  e1.PrecomputeEdgeCosts();
+  InferenceEngine e2(graph_.get(), joint_.get(), strict);
+  e2.PrecomputeEdgeCosts();
+  uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 0, 0});
+  EXPECT_GE(e1.PowerFrom(src).size(), e2.PowerFrom(src).size());
+}
+
+}  // namespace
+}  // namespace daakg

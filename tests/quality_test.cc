@@ -1,0 +1,147 @@
+// End-to-end quality regression tests: train the full DAAKG pipeline on a
+// small benchmark-analogue dataset and assert conservative lower bounds on
+// the phenomena the paper's evaluation rests on. These thresholds are far
+// below the bench-scale numbers, so they only fire on real regressions.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "active/pool.h"
+#include "core/daakg.h"
+#include "infer/alignment_graph.h"
+#include "infer/inference_power.h"
+#include "kg/synthetic.h"
+
+namespace daakg {
+namespace {
+
+// One shared trained pipeline (expensive): D-W analogue at 1/10 scale.
+class QualityTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    task_ = new AlignmentTask(
+        std::move(MakeBenchmarkTask(BenchmarkDataset::kDW, 0.1, 5)).value());
+    DaakgConfig config;
+    config.kge_model = "transe";
+    aligner_ = new DaakgAligner(task_, config);
+    Rng rng(1);
+    seed_ = new SeedAlignment(task_->SampleSeed(0.2, &rng));
+    aligner_->Train(*seed_);
+    eval_ = new EvalResult(aligner_->Evaluate());
+  }
+  static void TearDownTestSuite() {
+    delete eval_;
+    delete seed_;
+    delete aligner_;
+    delete task_;
+    eval_ = nullptr;
+    seed_ = nullptr;
+    aligner_ = nullptr;
+    task_ = nullptr;
+  }
+
+  static AlignmentTask* task_;
+  static DaakgAligner* aligner_;
+  static SeedAlignment* seed_;
+  static EvalResult* eval_;
+};
+
+AlignmentTask* QualityTest::task_ = nullptr;
+DaakgAligner* QualityTest::aligner_ = nullptr;
+SeedAlignment* QualityTest::seed_ = nullptr;
+EvalResult* QualityTest::eval_ = nullptr;
+
+TEST_F(QualityTest, EntityAlignmentLearnsBeyondChance) {
+  // Chance H@1 is 1/140 ~ 0.007; require an order of magnitude above it on
+  // *unseen* matches.
+  EXPECT_GT(eval_->ent_rank.hits_at_1, 0.05);
+  EXPECT_GT(eval_->ent_rank.hits_at_10, 0.25);
+  EXPECT_GT(eval_->ent_rank.mrr, 0.1);
+}
+
+TEST_F(QualityTest, SchemaAlignmentIsStrong) {
+  // The paper's headline: joint training makes schema alignment work.
+  EXPECT_GT(eval_->rel_rank.hits_at_1, 0.5);
+  EXPECT_GE(eval_->cls_rank.hits_at_1, 0.4);
+}
+
+TEST_F(QualityTest, PoolRecallIsUsable) {
+  PoolConfig cfg;
+  cfg.top_n = task_->kg2.num_entities() / 5;  // 20% cut-off
+  PoolGenerator gen(task_, aligner_->joint(), cfg);
+  EXPECT_GT(gen.EntityPairRecall(gen.Generate()), 0.4);
+}
+
+TEST_F(QualityTest, InferencePowerPrecisionBeatsPoolBaseRate) {
+  PoolConfig pool_cfg;
+  pool_cfg.top_n = 10;
+  PoolGenerator gen(task_, aligner_->joint(), pool_cfg);
+  std::vector<ElementPair> pool = gen.Generate();
+  AlignmentGraph graph(task_, pool);
+  InferenceConfig icfg = aligner_->config().infer;
+  icfg.power_floor = icfg.kappa;
+  InferenceEngine engine(&graph, aligner_->joint(), icfg);
+  engine.PrecomputeEdgeCosts();
+
+  std::unordered_map<uint32_t, float> inferred;
+  for (const auto& [e1, e2] : seed_->entities) {
+    uint32_t node =
+        graph.IndexOf(ElementPair{ElementKind::kEntity, e1, e2});
+    if (node == kInvalidId) continue;
+    for (const auto& [t, p] : engine.PowerFrom(node)) {
+      auto& slot = inferred[t];
+      slot = std::max(slot, p);
+    }
+  }
+  ASSERT_GT(inferred.size(), 0u);
+  size_t correct = 0;
+  size_t pool_matches = 0;
+  for (const auto& [node, p] : inferred) {
+    if (task_->IsGoldMatch(pool[node])) ++correct;
+  }
+  for (const ElementPair& q : pool) pool_matches += task_->IsGoldMatch(q);
+  const double precision =
+      static_cast<double>(correct) / static_cast<double>(inferred.size());
+  const double base_rate =
+      static_cast<double>(pool_matches) / static_cast<double>(pool.size());
+  // Inferred pairs must be far more likely to be matches than a random
+  // pool pair (the Table 6 phenomenon).
+  EXPECT_GT(precision, 3.0 * base_rate);
+  EXPECT_GT(precision, 0.3);
+}
+
+TEST_F(QualityTest, SemiSupervisionMinesPrecisePairs) {
+  aligner_->RefreshCaches();
+  auto mined = aligner_->joint()->MineSemiSupervision();
+  if (mined.size() < 5) GTEST_SKIP() << "too few mined pairs to judge";
+  size_t correct = 0;
+  for (const auto& [pair, score] : mined) {
+    if (task_->IsGoldMatch(pair)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(mined.size()),
+            0.6);
+}
+
+TEST_F(QualityTest, CalibratedProbabilitiesSeparateMatchesFromNonMatches) {
+  aligner_->RefreshCaches();
+  double match_p = 0.0;
+  double nonmatch_p = 0.0;
+  int n = 0;
+  Rng rng(9);
+  for (const auto& [e1, e2] : task_->gold_entities) {
+    match_p += aligner_->joint()->MatchProbability(
+        ElementPair{ElementKind::kEntity, e1, e2});
+    EntityId wrong = static_cast<EntityId>(
+        rng.NextUint64(task_->kg2.num_entities()));
+    if (wrong == e2) continue;
+    nonmatch_p += aligner_->joint()->MatchProbability(
+        ElementPair{ElementKind::kEntity, e1, wrong});
+    ++n;
+    if (n >= 80) break;
+  }
+  EXPECT_GT(match_p / n, 2.0 * (nonmatch_p / n + 1e-6));
+}
+
+}  // namespace
+}  // namespace daakg

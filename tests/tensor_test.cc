@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.h"
+#include "embedding/gradcheck.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+#include "tensor/vector.h"
+
+namespace daakg {
+namespace {
+
+constexpr float kTol = 1e-4f;
+
+// ---------------------------------------------------------------------------
+// Vector
+// ---------------------------------------------------------------------------
+
+TEST(VectorTest, ConstructionAndAccess) {
+  Vector v(4, 1.5f);
+  EXPECT_EQ(v.dim(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(v[i], 1.5f);
+  Vector w{1.0f, 2.0f, 3.0f};
+  EXPECT_EQ(w.dim(), 3u);
+  EXPECT_FLOAT_EQ(w[2], 3.0f);
+}
+
+TEST(VectorTest, Arithmetic) {
+  Vector a{1, 2, 3};
+  Vector b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vector{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vector{3, 3, 3}));
+  EXPECT_EQ(a * 2.0f, (Vector{2, 4, 6}));
+  Vector c = a;
+  c.Axpy(2.0f, b);
+  EXPECT_EQ(c, (Vector{9, 12, 15}));
+  c = a;
+  c.Hadamard(b);
+  EXPECT_EQ(c, (Vector{4, 10, 18}));
+}
+
+TEST(VectorTest, DotAndNorms) {
+  Vector a{3, 4};
+  EXPECT_FLOAT_EQ(a.Dot(a), 25.0f);
+  EXPECT_FLOAT_EQ(a.Norm(), 5.0f);
+  EXPECT_FLOAT_EQ(a.SquaredNorm(), 25.0f);
+  EXPECT_FLOAT_EQ(a.L1Norm(), 7.0f);
+  EXPECT_FLOAT_EQ(Dot(a, Vector{1, 0}), 3.0f);
+}
+
+TEST(VectorTest, NormalizeMakesUnitLength) {
+  Vector v{3, 4};
+  v.Normalize();
+  EXPECT_NEAR(v.Norm(), 1.0f, 1e-6f);
+  Vector zero(3);
+  zero.Normalize();  // must not divide by zero
+  EXPECT_FLOAT_EQ(zero.Norm(), 0.0f);
+}
+
+TEST(VectorTest, Clip) {
+  Vector v{-5, 0.5f, 5};
+  v.Clip(1.0f);
+  EXPECT_EQ(v, (Vector{-1, 0.5f, 1}));
+}
+
+TEST(VectorTest, CosineBoundsAndSpecialCases) {
+  Vector a{1, 0};
+  Vector b{0, 1};
+  EXPECT_NEAR(Cosine(a, a), 1.0f, 1e-6f);
+  EXPECT_NEAR(Cosine(a, b), 0.0f, 1e-6f);
+  EXPECT_NEAR(Cosine(a, a * -1.0f), -1.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(Cosine(a, Vector(2)), 0.0f);  // zero vector
+}
+
+TEST(VectorTest, CosineScaleInvariance) {
+  Rng rng(3);
+  Vector a(8), b(8);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+  EXPECT_NEAR(Cosine(a, b), Cosine(a * 7.5f, b * 0.2f), 1e-5f);
+}
+
+TEST(VectorTest, DistanceIsMetricOnSamples) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    Vector a(6), b(6), c(6);
+    a.InitGaussian(&rng, 1.0f);
+    b.InitGaussian(&rng, 1.0f);
+    c.InitGaussian(&rng, 1.0f);
+    EXPECT_NEAR(EuclideanDistance(a, b), EuclideanDistance(b, a), 1e-5f);
+    EXPECT_LE(EuclideanDistance(a, c),
+              EuclideanDistance(a, b) + EuclideanDistance(b, c) + 1e-5f);
+  }
+}
+
+TEST(VectorTest, Concat) {
+  Vector ab = Concat(Vector{1, 2}, Vector{3});
+  EXPECT_EQ(ab, (Vector{1, 2, 3}));
+}
+
+TEST(VectorTest, CosineGradientsMatchFiniteDifferences) {
+  Rng rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    Vector a(6), b(6);
+    a.InitGaussian(&rng, 1.0f);
+    b.InitGaussian(&rng, 1.0f);
+    Vector da, db;
+    CosineWithGradients(a, b, &da, &db);
+    Vector num_da = NumericalGradient(
+        [&b](const Vector& x) { return Cosine(x, b); }, a);
+    Vector num_db = NumericalGradient(
+        [&a](const Vector& x) { return Cosine(a, x); }, b);
+    EXPECT_LT(MaxRelativeError(da, num_da), 5e-2f);
+    EXPECT_LT(MaxRelativeError(db, num_db), 5e-2f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Matrix
+// ---------------------------------------------------------------------------
+
+TEST(MatrixTest, RowAccess) {
+  Matrix m(2, 3);
+  m.SetRow(0, Vector{1, 2, 3});
+  m.SetRow(1, Vector{4, 5, 6});
+  EXPECT_EQ(m.Row(1), (Vector{4, 5, 6}));
+  EXPECT_FLOAT_EQ(m(0, 2), 3.0f);
+  m.RowAxpy(0, 2.0f, Vector{1, 1, 1});
+  EXPECT_EQ(m.Row(0), (Vector{3, 4, 5}));
+}
+
+TEST(MatrixTest, IdentityMultiplyIsNoop) {
+  Matrix id(4, 4);
+  id.SetIdentity();
+  Vector x{1, 2, 3, 4};
+  EXPECT_EQ(id.Multiply(x), x);
+  EXPECT_EQ(id.TransposeMultiply(x), x);
+}
+
+TEST(MatrixTest, MultiplyMatchesManual) {
+  Matrix m(2, 3);
+  m.SetRow(0, Vector{1, 0, 2});
+  m.SetRow(1, Vector{0, 1, -1});
+  Vector y = m.Multiply(Vector{1, 2, 3});
+  EXPECT_EQ(y, (Vector{7, -1}));
+  Vector z = m.TransposeMultiply(Vector{1, 1});
+  EXPECT_EQ(z, (Vector{1, 1, 1}));
+}
+
+TEST(MatrixTest, TransposeMultiplyAgreesWithTransposed) {
+  Rng rng(6);
+  Matrix m(5, 7);
+  m.InitGaussian(&rng, 1.0f);
+  Vector x(5);
+  x.InitGaussian(&rng, 1.0f);
+  Vector a = m.TransposeMultiply(x);
+  Vector b = m.Transposed().Multiply(x);
+  for (size_t i = 0; i < a.dim(); ++i) EXPECT_NEAR(a[i], b[i], kTol);
+}
+
+TEST(MatrixTest, MatrixProductAssociatesWithVector) {
+  Rng rng(7);
+  Matrix a(4, 5), b(5, 6);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+  Vector x(6);
+  x.InitGaussian(&rng, 1.0f);
+  Vector lhs = a.Multiply(b.Multiply(x));
+  Vector rhs = a.Multiply(b).Multiply(x);
+  for (size_t i = 0; i < lhs.dim(); ++i) EXPECT_NEAR(lhs[i], rhs[i], kTol);
+}
+
+TEST(MatrixTest, AddOuterMatchesManual) {
+  Matrix m(2, 2);
+  m.AddOuter(2.0f, Vector{1, 3}, Vector{4, 5});
+  EXPECT_FLOAT_EQ(m(0, 0), 8.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 10.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 24.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 30.0f);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(2, 2);
+  m(0, 0) = 3;
+  m(1, 1) = 4;
+  EXPECT_FLOAT_EQ(m.Norm(), 5.0f);
+}
+
+TEST(MatrixTest, XavierInitBounded) {
+  Rng rng(8);
+  Matrix m(10, 10);
+  m.InitXavier(&rng);
+  float bound = std::sqrt(6.0f / 20.0f);
+  for (size_t r = 0; r < 10; ++r) {
+    for (size_t c = 0; c < 10; ++c) {
+      EXPECT_LE(std::fabs(m(r, c)), bound);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ops
+// ---------------------------------------------------------------------------
+
+TEST(OpsTest, SoftmaxSumsToOne) {
+  auto p = Softmax({1.0, 2.0, 3.0});
+  double sum = p[0] + p[1] + p[2];
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_GT(p[2], p[1]);
+  EXPECT_GT(p[1], p[0]);
+}
+
+TEST(OpsTest, SoftmaxStableUnderLargeLogits) {
+  auto p = Softmax({1000.0, 1000.0});
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+}
+
+TEST(OpsTest, TemperatureSharpens) {
+  auto hot = SoftmaxWithTemperature({1.0, 2.0}, 10.0);
+  auto cold = SoftmaxWithTemperature({1.0, 2.0}, 0.1);
+  EXPECT_GT(cold[1], hot[1]);
+  EXPECT_GT(cold[1], 0.99);
+}
+
+TEST(OpsTest, SoftmaxEmptyInput) {
+  EXPECT_TRUE(Softmax({}).empty());
+}
+
+TEST(OpsTest, LogSumExp) {
+  EXPECT_NEAR(LogSumExp({0.0, 0.0}), std::log(2.0), 1e-12);
+  EXPECT_NEAR(LogSumExp({1000.0, 1000.0}), 1000.0 + std::log(2.0), 1e-9);
+  EXPECT_TRUE(std::isinf(LogSumExp({})));
+}
+
+TEST(OpsTest, EntropyUniformIsMaximal) {
+  double uniform = Entropy({0.25, 0.25, 0.25, 0.25});
+  double skewed = Entropy({0.97, 0.01, 0.01, 0.01});
+  EXPECT_NEAR(uniform, std::log(4.0), 1e-12);
+  EXPECT_LT(skewed, uniform);
+  EXPECT_DOUBLE_EQ(Entropy({1.0, 0.0}), 0.0);
+}
+
+TEST(OpsTest, TopKOrderingAndTies) {
+  std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.9f};
+  auto top = TopKIndices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);  // tie broken by lower index
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(OpsTest, TopKClampsK) {
+  EXPECT_EQ(TopKIndices({1.0f}, 10).size(), 1u);
+  EXPECT_TRUE(TopKIndices({}, 3).empty());
+}
+
+TEST(OpsTest, ArgMax) {
+  EXPECT_EQ(ArgMax({1.0f, 5.0f, 3.0f}), 1u);
+  EXPECT_EQ(ArgMax({}), static_cast<size_t>(-1));
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(SerializeTest, VectorRoundTrip) {
+  std::string path = ::testing::TempDir() + "/daakg_vec.bin";
+  Rng rng(9);
+  Vector v(17);
+  v.InitGaussian(&rng, 2.0f);
+  ASSERT_TRUE(SaveVector(v, path).ok());
+  auto loaded = LoadVector(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, v);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MatrixRoundTrip) {
+  std::string path = ::testing::TempDir() + "/daakg_mat.bin";
+  Rng rng(10);
+  Matrix m(5, 9);
+  m.InitGaussian(&rng, 1.0f);
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  auto loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, m);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MagicMismatchRejected) {
+  std::string path = ::testing::TempDir() + "/daakg_magic.bin";
+  Vector v(3, 1.0f);
+  ASSERT_TRUE(SaveVector(v, path).ok());
+  EXPECT_FALSE(LoadMatrix(path).ok());  // vector file read as matrix
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyMatrixRoundTrip) {
+  std::string path = ::testing::TempDir() + "/daakg_empty.bin";
+  Matrix m;
+  ASSERT_TRUE(SaveMatrix(m, path).ok());
+  auto loaded = LoadMatrix(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace daakg
