@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daakg_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/daakg_bench_util.dir/bench_util.cc.o.d"
+  "libdaakg_bench_util.a"
+  "libdaakg_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daakg_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

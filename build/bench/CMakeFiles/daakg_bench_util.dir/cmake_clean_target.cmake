@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdaakg_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_active_learning.dir/fig5_active_learning.cc.o"
+  "CMakeFiles/fig5_active_learning.dir/fig5_active_learning.cc.o.d"
+  "fig5_active_learning"
+  "fig5_active_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_active_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pool_recall.dir/fig6_pool_recall.cc.o"
+  "CMakeFiles/fig6_pool_recall.dir/fig6_pool_recall.cc.o.d"
+  "fig6_pool_recall"
+  "fig6_pool_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pool_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_partitioning.dir/fig7_partitioning.cc.o"
+  "CMakeFiles/fig7_partitioning.dir/fig7_partitioning.cc.o.d"
+  "fig7_partitioning"
+  "fig7_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

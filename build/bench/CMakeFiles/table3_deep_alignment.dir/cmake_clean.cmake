@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_deep_alignment.dir/table3_deep_alignment.cc.o"
+  "CMakeFiles/table3_deep_alignment.dir/table3_deep_alignment.cc.o.d"
+  "table3_deep_alignment"
+  "table3_deep_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_deep_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

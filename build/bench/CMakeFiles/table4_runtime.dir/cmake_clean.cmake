@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_runtime.dir/table4_runtime.cc.o"
+  "CMakeFiles/table4_runtime.dir/table4_runtime.cc.o.d"
+  "table4_runtime"
+  "table4_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_alignment.dir/active_alignment.cpp.o"
+  "CMakeFiles/active_alignment.dir/active_alignment.cpp.o.d"
+  "active_alignment"
+  "active_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

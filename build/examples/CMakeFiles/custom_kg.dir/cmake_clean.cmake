@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_kg.dir/custom_kg.cpp.o"
+  "CMakeFiles/custom_kg.dir/custom_kg.cpp.o.d"
+  "custom_kg"
+  "custom_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_alignment.dir/schema_alignment.cpp.o"
+  "CMakeFiles/schema_alignment.dir/schema_alignment.cpp.o.d"
+  "schema_alignment"
+  "schema_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daakg_active.dir/pool.cc.o"
+  "CMakeFiles/daakg_active.dir/pool.cc.o.d"
+  "CMakeFiles/daakg_active.dir/selection.cc.o"
+  "CMakeFiles/daakg_active.dir/selection.cc.o.d"
+  "CMakeFiles/daakg_active.dir/strategies.cc.o"
+  "CMakeFiles/daakg_active.dir/strategies.cc.o.d"
+  "libdaakg_active.a"
+  "libdaakg_active.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daakg_active.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for daakg_active.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daakg_align.dir/joint_model.cc.o"
+  "CMakeFiles/daakg_align.dir/joint_model.cc.o.d"
+  "CMakeFiles/daakg_align.dir/losses.cc.o"
+  "CMakeFiles/daakg_align.dir/losses.cc.o.d"
+  "CMakeFiles/daakg_align.dir/metrics.cc.o"
+  "CMakeFiles/daakg_align.dir/metrics.cc.o.d"
+  "libdaakg_align.a"
+  "libdaakg_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daakg_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

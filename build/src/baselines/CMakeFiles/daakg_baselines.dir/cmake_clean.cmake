@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daakg_baselines.dir/bertmap_lite.cc.o"
+  "CMakeFiles/daakg_baselines.dir/bertmap_lite.cc.o.d"
+  "CMakeFiles/daakg_baselines.dir/embedding_baseline.cc.o"
+  "CMakeFiles/daakg_baselines.dir/embedding_baseline.cc.o.d"
+  "CMakeFiles/daakg_baselines.dir/paris.cc.o"
+  "CMakeFiles/daakg_baselines.dir/paris.cc.o.d"
+  "libdaakg_baselines.a"
+  "libdaakg_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daakg_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

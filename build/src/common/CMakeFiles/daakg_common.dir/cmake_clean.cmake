@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daakg_common.dir/file_util.cc.o"
+  "CMakeFiles/daakg_common.dir/file_util.cc.o.d"
+  "CMakeFiles/daakg_common.dir/logging.cc.o"
+  "CMakeFiles/daakg_common.dir/logging.cc.o.d"
+  "CMakeFiles/daakg_common.dir/rng.cc.o"
+  "CMakeFiles/daakg_common.dir/rng.cc.o.d"
+  "CMakeFiles/daakg_common.dir/status.cc.o"
+  "CMakeFiles/daakg_common.dir/status.cc.o.d"
+  "CMakeFiles/daakg_common.dir/string_util.cc.o"
+  "CMakeFiles/daakg_common.dir/string_util.cc.o.d"
+  "CMakeFiles/daakg_common.dir/thread_pool.cc.o"
+  "CMakeFiles/daakg_common.dir/thread_pool.cc.o.d"
+  "libdaakg_common.a"
+  "libdaakg_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daakg_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daakg_core.dir/active_loop.cc.o"
+  "CMakeFiles/daakg_core.dir/active_loop.cc.o.d"
+  "CMakeFiles/daakg_core.dir/daakg.cc.o"
+  "CMakeFiles/daakg_core.dir/daakg.cc.o.d"
+  "libdaakg_core.a"
+  "libdaakg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daakg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

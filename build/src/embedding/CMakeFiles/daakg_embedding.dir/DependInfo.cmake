@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embedding/compgcn.cc" "src/embedding/CMakeFiles/daakg_embedding.dir/compgcn.cc.o" "gcc" "src/embedding/CMakeFiles/daakg_embedding.dir/compgcn.cc.o.d"
+  "/root/repo/src/embedding/entity_class_model.cc" "src/embedding/CMakeFiles/daakg_embedding.dir/entity_class_model.cc.o" "gcc" "src/embedding/CMakeFiles/daakg_embedding.dir/entity_class_model.cc.o.d"
+  "/root/repo/src/embedding/gradcheck.cc" "src/embedding/CMakeFiles/daakg_embedding.dir/gradcheck.cc.o" "gcc" "src/embedding/CMakeFiles/daakg_embedding.dir/gradcheck.cc.o.d"
+  "/root/repo/src/embedding/kge_model.cc" "src/embedding/CMakeFiles/daakg_embedding.dir/kge_model.cc.o" "gcc" "src/embedding/CMakeFiles/daakg_embedding.dir/kge_model.cc.o.d"
+  "/root/repo/src/embedding/negative_sampler.cc" "src/embedding/CMakeFiles/daakg_embedding.dir/negative_sampler.cc.o" "gcc" "src/embedding/CMakeFiles/daakg_embedding.dir/negative_sampler.cc.o.d"
+  "/root/repo/src/embedding/rotate.cc" "src/embedding/CMakeFiles/daakg_embedding.dir/rotate.cc.o" "gcc" "src/embedding/CMakeFiles/daakg_embedding.dir/rotate.cc.o.d"
+  "/root/repo/src/embedding/trainer.cc" "src/embedding/CMakeFiles/daakg_embedding.dir/trainer.cc.o" "gcc" "src/embedding/CMakeFiles/daakg_embedding.dir/trainer.cc.o.d"
+  "/root/repo/src/embedding/transe.cc" "src/embedding/CMakeFiles/daakg_embedding.dir/transe.cc.o" "gcc" "src/embedding/CMakeFiles/daakg_embedding.dir/transe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kg/CMakeFiles/daakg_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/daakg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/daakg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

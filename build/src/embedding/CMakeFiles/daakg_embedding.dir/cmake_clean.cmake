@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daakg_embedding.dir/compgcn.cc.o"
+  "CMakeFiles/daakg_embedding.dir/compgcn.cc.o.d"
+  "CMakeFiles/daakg_embedding.dir/entity_class_model.cc.o"
+  "CMakeFiles/daakg_embedding.dir/entity_class_model.cc.o.d"
+  "CMakeFiles/daakg_embedding.dir/gradcheck.cc.o"
+  "CMakeFiles/daakg_embedding.dir/gradcheck.cc.o.d"
+  "CMakeFiles/daakg_embedding.dir/kge_model.cc.o"
+  "CMakeFiles/daakg_embedding.dir/kge_model.cc.o.d"
+  "CMakeFiles/daakg_embedding.dir/negative_sampler.cc.o"
+  "CMakeFiles/daakg_embedding.dir/negative_sampler.cc.o.d"
+  "CMakeFiles/daakg_embedding.dir/rotate.cc.o"
+  "CMakeFiles/daakg_embedding.dir/rotate.cc.o.d"
+  "CMakeFiles/daakg_embedding.dir/trainer.cc.o"
+  "CMakeFiles/daakg_embedding.dir/trainer.cc.o.d"
+  "CMakeFiles/daakg_embedding.dir/transe.cc.o"
+  "CMakeFiles/daakg_embedding.dir/transe.cc.o.d"
+  "libdaakg_embedding.a"
+  "libdaakg_embedding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daakg_embedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

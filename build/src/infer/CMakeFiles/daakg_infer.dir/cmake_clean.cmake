@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daakg_infer.dir/alignment_graph.cc.o"
+  "CMakeFiles/daakg_infer.dir/alignment_graph.cc.o.d"
+  "CMakeFiles/daakg_infer.dir/inference_power.cc.o"
+  "CMakeFiles/daakg_infer.dir/inference_power.cc.o.d"
+  "libdaakg_infer.a"
+  "libdaakg_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daakg_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

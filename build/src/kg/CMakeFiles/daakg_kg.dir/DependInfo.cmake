@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kg/alignment_task.cc" "src/kg/CMakeFiles/daakg_kg.dir/alignment_task.cc.o" "gcc" "src/kg/CMakeFiles/daakg_kg.dir/alignment_task.cc.o.d"
+  "/root/repo/src/kg/ids.cc" "src/kg/CMakeFiles/daakg_kg.dir/ids.cc.o" "gcc" "src/kg/CMakeFiles/daakg_kg.dir/ids.cc.o.d"
+  "/root/repo/src/kg/io.cc" "src/kg/CMakeFiles/daakg_kg.dir/io.cc.o" "gcc" "src/kg/CMakeFiles/daakg_kg.dir/io.cc.o.d"
+  "/root/repo/src/kg/knowledge_graph.cc" "src/kg/CMakeFiles/daakg_kg.dir/knowledge_graph.cc.o" "gcc" "src/kg/CMakeFiles/daakg_kg.dir/knowledge_graph.cc.o.d"
+  "/root/repo/src/kg/stats.cc" "src/kg/CMakeFiles/daakg_kg.dir/stats.cc.o" "gcc" "src/kg/CMakeFiles/daakg_kg.dir/stats.cc.o.d"
+  "/root/repo/src/kg/synthetic.cc" "src/kg/CMakeFiles/daakg_kg.dir/synthetic.cc.o" "gcc" "src/kg/CMakeFiles/daakg_kg.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/daakg_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/daakg_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daakg_kg.dir/alignment_task.cc.o"
+  "CMakeFiles/daakg_kg.dir/alignment_task.cc.o.d"
+  "CMakeFiles/daakg_kg.dir/ids.cc.o"
+  "CMakeFiles/daakg_kg.dir/ids.cc.o.d"
+  "CMakeFiles/daakg_kg.dir/io.cc.o"
+  "CMakeFiles/daakg_kg.dir/io.cc.o.d"
+  "CMakeFiles/daakg_kg.dir/knowledge_graph.cc.o"
+  "CMakeFiles/daakg_kg.dir/knowledge_graph.cc.o.d"
+  "CMakeFiles/daakg_kg.dir/stats.cc.o"
+  "CMakeFiles/daakg_kg.dir/stats.cc.o.d"
+  "CMakeFiles/daakg_kg.dir/synthetic.cc.o"
+  "CMakeFiles/daakg_kg.dir/synthetic.cc.o.d"
+  "libdaakg_kg.a"
+  "libdaakg_kg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daakg_kg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

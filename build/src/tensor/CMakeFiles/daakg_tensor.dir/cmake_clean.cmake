@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daakg_tensor.dir/matrix.cc.o"
+  "CMakeFiles/daakg_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/daakg_tensor.dir/ops.cc.o"
+  "CMakeFiles/daakg_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/daakg_tensor.dir/serialize.cc.o"
+  "CMakeFiles/daakg_tensor.dir/serialize.cc.o.d"
+  "CMakeFiles/daakg_tensor.dir/vector.cc.o"
+  "CMakeFiles/daakg_tensor.dir/vector.cc.o.d"
+  "libdaakg_tensor.a"
+  "libdaakg_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daakg_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/active_test.cc" "tests/CMakeFiles/active_test.dir/active_test.cc.o" "gcc" "tests/CMakeFiles/active_test.dir/active_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/daakg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/daakg_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/active/CMakeFiles/daakg_active.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/daakg_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/daakg_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/embedding/CMakeFiles/daakg_embedding.dir/DependInfo.cmake"
+  "/root/repo/build/src/kg/CMakeFiles/daakg_kg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/daakg_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/daakg_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

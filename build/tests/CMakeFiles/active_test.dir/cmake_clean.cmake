@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_test.dir/active_test.cc.o"
+  "CMakeFiles/active_test.dir/active_test.cc.o.d"
+  "active_test"
+  "active_test.pdb"
+  "active_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

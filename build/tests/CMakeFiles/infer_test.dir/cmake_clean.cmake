@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infer_test.dir/infer_test.cc.o"
+  "CMakeFiles/infer_test.dir/infer_test.cc.o.d"
+  "infer_test"
+  "infer_test.pdb"
+  "infer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/active_test[1]_include.cmake")
+include("/root/repo/build/tests/align_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/embedding_test[1]_include.cmake")
+include("/root/repo/build/tests/infer_test[1]_include.cmake")
+include("/root/repo/build/tests/kg_test[1]_include.cmake")
+include("/root/repo/build/tests/quality_test[1]_include.cmake")
+include("/root/repo/build/tests/synthetic_test[1]_include.cmake")
+include("/root/repo/build/tests/tensor_test[1]_include.cmake")
