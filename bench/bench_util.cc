@@ -1,10 +1,14 @@
 #include "bench/bench_util.h"
 
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/json_exporter.h"
+#include "obs/metrics.h"
 
 namespace daakg {
 namespace bench {
@@ -37,7 +41,11 @@ AlignmentTask MakeTask(BenchmarkDataset dataset, const BenchEnv& env) {
 
 DaakgConfig DaakgBenchConfig(const std::string& model, const BenchEnv& env) {
   DaakgConfig cfg;
-  cfg.kge_model = model;
+  auto kind = ParseKgeModelKind(model);
+  if (!kind.ok()) {
+    LOG_FATAL << "DAAKG_BENCH_MODEL: " << kind.status();
+  }
+  cfg.kge_model = kind.value();
   cfg.seed = env.seed;
   if (model == "compgcn") {
     // The GNN encoder costs ~dim^2 per representation; trim dimension and
@@ -60,6 +68,30 @@ BaselineResult RunDaakg(const AlignmentTask& task, const DaakgConfig& config,
   result.eval = aligner.Evaluate();
   result.train_seconds = timer.ElapsedSeconds();
   return result;
+}
+
+BenchArgs ParseBenchArgs(int argc, char** argv) {
+  BenchArgs args;
+  constexpr const char kMetricsFlag[] = "--metrics_json=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kMetricsFlag, sizeof(kMetricsFlag) - 1) == 0) {
+      args.metrics_json = argv[i] + sizeof(kMetricsFlag) - 1;
+      continue;
+    }
+    LOG_FATAL << "unknown argument: " << argv[i]
+              << " (usage: " << argv[0] << " [--metrics_json=<path>])";
+  }
+  return args;
+}
+
+void MaybeDumpMetrics(const BenchArgs& args) {
+  if (args.metrics_json.empty()) return;
+  Status status =
+      obs::WriteMetricsJson(obs::GlobalMetrics(), args.metrics_json);
+  if (!status.ok()) {
+    LOG_FATAL << "writing " << args.metrics_json << ": " << status;
+  }
+  std::printf("metrics written to %s\n", args.metrics_json.c_str());
 }
 
 std::string ResultHeader() {

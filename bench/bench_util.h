@@ -33,7 +33,21 @@ AlignmentTask MakeTask(BenchmarkDataset dataset, const BenchEnv& env);
 
 // DAAKG configuration tuned per base model so the CPU bench stays
 // affordable (CompGCN's GNN encoder is ~8x the per-epoch cost of TransE).
+// Aborts on an unknown model name (benches are not library code).
 DaakgConfig DaakgBenchConfig(const std::string& model, const BenchEnv& env);
+
+// Command-line flags shared by the bench mains:
+//   --metrics_json=<path>   dump the global metrics registry as JSON on
+//                           MaybeDumpMetrics()
+struct BenchArgs {
+  std::string metrics_json;
+};
+
+// Parses the flags above; unknown arguments abort with a usage message.
+BenchArgs ParseBenchArgs(int argc, char** argv);
+
+// Writes the global metrics registry to `args.metrics_json` when set.
+void MaybeDumpMetrics(const BenchArgs& args);
 
 // Trains DAAKG on `task` from a fresh `seed_fraction` seed and returns the
 // evaluation plus wall-clock (a Table 3/4/5 row).

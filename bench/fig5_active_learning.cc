@@ -10,7 +10,8 @@
 #include "bench/bench_util.h"
 #include "core/active_loop.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const daakg::bench::BenchArgs args = daakg::bench::ParseBenchArgs(argc, argv);
   using namespace daakg;
   using namespace daakg::bench;
   BenchEnv env = BenchEnv::FromEnv();
@@ -61,5 +62,6 @@ int main() {
       std::fflush(stdout);
     }
   }
+  daakg::bench::MaybeDumpMetrics(args);
   return 0;
 }

@@ -12,7 +12,8 @@
 #include "active/pool.h"
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const daakg::bench::BenchArgs args = daakg::bench::ParseBenchArgs(argc, argv);
   using namespace daakg;
   using namespace daakg::bench;
   BenchEnv env = BenchEnv::FromEnv();
@@ -51,5 +52,6 @@ int main() {
   }
   std::printf("\nPaper: >= 0.806 recall at N=1000 on D-W/EN-DE/EN-FR; "
               "0.652-0.688 on D-Y.\n");
+  daakg::bench::MaybeDumpMetrics(args);
   return 0;
 }

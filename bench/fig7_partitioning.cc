@@ -13,7 +13,8 @@
 #include "bench/bench_util.h"
 #include "infer/alignment_graph.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const daakg::bench::BenchArgs args = daakg::bench::ParseBenchArgs(argc, argv);
   using namespace daakg;
   using namespace daakg::bench;
   BenchEnv env = BenchEnv::FromEnv();
@@ -62,5 +63,6 @@ int main() {
                 part.seconds > 0 ? greedy.seconds / part.seconds : 0.0);
     std::fflush(stdout);
   }
+  daakg::bench::MaybeDumpMetrics(args);
   return 0;
 }

@@ -105,8 +105,8 @@ TrainedModels& Models() {
     KgeConfig kge;
     kge.dim = 32;
     kge.epochs = 5;
-    out->m1 = MakeKgeModel("transe", &BenchTask().kg1, kge);
-    out->m2 = MakeKgeModel("transe", &BenchTask().kg2, kge);
+    out->m1 = MakeKgeModel(KgeModelKind::kTransE, &BenchTask().kg1, kge);
+    out->m2 = MakeKgeModel(KgeModelKind::kTransE, &BenchTask().kg2, kge);
     Rng rng(4);
     out->m1->Init(&rng);
     out->m2->Init(&rng);

@@ -8,7 +8,8 @@
 #include "bench/bench_util.h"
 #include "kg/stats.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const daakg::bench::BenchArgs args = daakg::bench::ParseBenchArgs(argc, argv);
   using namespace daakg;
   using namespace daakg::bench;
   BenchEnv env = BenchEnv::FromEnv();
@@ -28,5 +29,6 @@ int main() {
               "70k entity matches;\nD-W 413/261 relations 167/116 classes; "
               "D-Y 287/32 relations 13/9 classes;\nEN-DE 381/196 relations "
               "109/76 classes; EN-FR 400/300 relations 174/121 classes.\n");
+  daakg::bench::MaybeDumpMetrics(args);
   return 0;
 }

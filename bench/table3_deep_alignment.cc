@@ -19,7 +19,8 @@
 #include "baselines/paris.h"
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const daakg::bench::BenchArgs args = daakg::bench::ParseBenchArgs(argc, argv);
   using namespace daakg;
   using namespace daakg::bench;
   BenchEnv env = BenchEnv::FromEnv();
@@ -64,5 +65,6 @@ int main() {
     }
     std::fflush(stdout);
   }
+  daakg::bench::MaybeDumpMetrics(args);
   return 0;
 }

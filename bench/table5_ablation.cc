@@ -11,7 +11,8 @@
 
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const daakg::bench::BenchArgs args = daakg::bench::ParseBenchArgs(argc, argv);
   using namespace daakg;
   using namespace daakg::bench;
   BenchEnv env = BenchEnv::FromEnv();
@@ -49,5 +50,6 @@ int main() {
       }
     }
   }
+  daakg::bench::MaybeDumpMetrics(args);
   return 0;
 }

@@ -14,7 +14,8 @@
 #include "infer/alignment_graph.h"
 #include "infer/inference_power.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const daakg::bench::BenchArgs args = daakg::bench::ParseBenchArgs(argc, argv);
   using namespace daakg;
   using namespace daakg::bench;
   BenchEnv env = BenchEnv::FromEnv();
@@ -77,5 +78,6 @@ int main() {
   }
   std::printf("\nPaper: TransE 0.933-0.977, RotatE 0.824-0.957, "
               "CompGCN 0.763-0.872.\n");
+  daakg::bench::MaybeDumpMetrics(args);
   return 0;
 }

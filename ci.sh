@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 verification, twice: a plain release build and an ASan+UBSan build.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== release build =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitizer build (ASan+UBSan) =="
+cmake -B build-asan -S . -DDAAKG_SANITIZE=ON
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "ci.sh: all green"

@@ -16,9 +16,14 @@ namespace {
 std::vector<ActiveRoundReport> RunLoop(const AlignmentTask& task,
                                        SelectionStrategy* strategy) {
   DaakgConfig config;
-  config.kge_model = "transe";
+  config.kge_model = KgeModelKind::kTransE;
   config.align.align_epochs = 60;  // trimmed: the loop retrains per batch
-  DaakgAligner aligner(&task, config);
+  auto aligner = DaakgAligner::Create(&task, config);
+  if (!aligner.ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 aligner.status().ToString().c_str());
+    return {};
+  }
   GoldOracle oracle(&task);
 
   ActiveLoopConfig loop_cfg;
@@ -26,8 +31,15 @@ std::vector<ActiveRoundReport> RunLoop(const AlignmentTask& task,
   loop_cfg.initial_seed_fraction = 0.05;
   loop_cfg.report_fractions = {0.1, 0.2, 0.3};
   loop_cfg.pool.top_n = 15;
-  ActiveAlignmentLoop loop(&task, &aligner, strategy, &oracle, loop_cfg);
-  auto reports = loop.Run();
+  // Create() null-checks the dependencies and validates loop_cfg.
+  auto loop = ActiveAlignmentLoop::Create(&task, aligner->get(), strategy,
+                                          &oracle, loop_cfg);
+  if (!loop.ok()) {
+    std::fprintf(stderr, "bad loop config: %s\n",
+                 loop.status().ToString().c_str());
+    return {};
+  }
+  auto reports = (*loop)->Run();
   std::printf("  strategy %-12s:", strategy->name().c_str());
   for (const auto& r : reports) {
     std::printf("  %2.0f%% labels -> H@1 %.3f (%zu queries)",

@@ -119,11 +119,17 @@ int main() {
 
   // Tiny graphs: give DAAKG a half of the matches as seeds.
   DaakgConfig config;
-  config.kge_model = "transe";
+  config.kge_model = KgeModelKind::kTransE;
   config.kge.dim = 16;
   config.kge.class_dim = 8;
   config.align.align_epochs = 80;
-  DaakgAligner aligner(&*reloaded, config);
+  auto aligner_or = DaakgAligner::Create(&*reloaded, config);
+  if (!aligner_or.ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 aligner_or.status().ToString().c_str());
+    return 1;
+  }
+  DaakgAligner& aligner = **aligner_or;
   Rng rng(3);
   aligner.Train(reloaded->SampleSeed(0.5, &rng));
 

@@ -41,14 +41,21 @@ int main() {
               stats.relations2, stats.classes1, stats.classes2,
               stats.entity_matches);
 
-  // 2. Model: DAAKG with the TransE base embedding (use "compgcn" for the
-  //    GNN encoder; it is slower but stronger).
+  // 2. Model: DAAKG with the TransE base embedding (use kCompGcn for the
+  //    GNN encoder; it is slower but stronger). Create() validates the
+  //    config and reports problems as a Status instead of crashing.
   DaakgConfig config;
-  config.kge_model = "transe";
+  config.kge_model = KgeModelKind::kTransE;
   config.kge.epochs = 30;
   config.align.align_epochs = 30;
   config.align.semi_rounds = 1;
-  DaakgAligner aligner(&task, config);
+  auto aligner_or = DaakgAligner::Create(&task, config);
+  if (!aligner_or.ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 aligner_or.status().ToString().c_str());
+    return 1;
+  }
+  DaakgAligner& aligner = **aligner_or;
 
   // 3. Seed supervision: 20% of the gold matches, as in the paper's
   //    deep-alignment comparison.

@@ -30,8 +30,14 @@ int main() {
   AlignmentTask task = std::move(GenerateSyntheticTask(spec)).value();
 
   DaakgConfig config;
-  config.kge_model = "transe";
-  DaakgAligner aligner(&task, config);
+  config.kge_model = KgeModelKind::kTransE;
+  auto aligner_or = DaakgAligner::Create(&task, config);
+  if (!aligner_or.ok()) {
+    std::fprintf(stderr, "bad config: %s\n",
+                 aligner_or.status().ToString().c_str());
+    return 1;
+  }
+  DaakgAligner& aligner = **aligner_or;
   Rng rng(1);
   aligner.Train(task.SampleSeed(0.2, &rng));
 

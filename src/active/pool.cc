@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "obs/scoped_timer.h"
 #include "tensor/ops.h"
 
 namespace daakg {
@@ -81,6 +82,13 @@ Vector PoolGenerator::Signature(int side, EntityId e) const {
 }
 
 std::vector<ElementPair> PoolGenerator::Generate() const {
+  static obs::Histogram* build_timing =
+      obs::GlobalMetrics().GetHistogram("daakg.active.pool_build_seconds");
+  static obs::Counter* candidates =
+      obs::GlobalMetrics().GetCounter("daakg.active.pool_candidates");
+  static obs::Gauge* pool_size =
+      obs::GlobalMetrics().GetGauge("daakg.active.pool_size");
+  obs::ScopedTimer span(build_timing);
   const size_t n1 = task_->kg1.num_entities();
   const size_t n2 = task_->kg2.num_entities();
   const size_t n = std::min(config_.top_n, n2);
@@ -150,6 +158,8 @@ std::vector<ElementPair> PoolGenerator::Generate() const {
       out.push_back(ElementPair{ElementKind::kClass, c1, c2});
     }
   }
+  candidates->Increment(out.size());
+  pool_size->Set(static_cast<double>(out.size()));
   return out;
 }
 

@@ -9,9 +9,20 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/scoped_timer.h"
 
 namespace daakg {
 namespace {
+
+// Shared per-batch bookkeeping of both selection algorithms.
+void RecordSelection(const SelectionResult& result) {
+  static obs::Histogram* timing =
+      obs::GlobalMetrics().GetHistogram("daakg.active.selection_seconds");
+  static obs::Counter* selected =
+      obs::GlobalMetrics().GetCounter("daakg.active.selected_pairs");
+  timing->Record(result.seconds);
+  selected->Increment(result.selected.size());
+}
 
 constexpr float kLazyEps = 1e-9f;
 constexpr size_t kMaxSplits = 512;  // safety cap for the splitting loop
@@ -98,6 +109,7 @@ SelectionResult GreedySelect(const SelectionContext& ctx,
   SelectionResult result = LazyGreedy<std::pair<uint32_t, float>>(
       ctx, config, rows, prob, gain, commit, n);
   result.seconds = timer.ElapsedSeconds();
+  RecordSelection(result);
   return result;
 }
 
@@ -307,6 +319,10 @@ SelectionResult PartitionSelect(const SelectionContext& ctx,
                                                   gain, commit, num_groups);
   result.num_groups = num_groups;
   result.seconds = timer.ElapsedSeconds();
+  obs::GlobalMetrics()
+      .GetGauge("daakg.active.partition_groups")
+      ->Set(static_cast<double>(num_groups));
+  RecordSelection(result);
   return result;
 }
 

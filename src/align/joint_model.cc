@@ -7,6 +7,7 @@
 
 #include "align/losses.h"
 #include "common/thread_pool.h"
+#include "obs/scoped_timer.h"
 #include "tensor/ops.h"
 
 namespace daakg {
@@ -333,6 +334,12 @@ void JointAlignmentModel::ComputeCalibrationDenominators() {
 }
 
 void JointAlignmentModel::RefreshCaches() {
+  static obs::Histogram* refresh_timing =
+      obs::GlobalMetrics().GetHistogram("daakg.align.refresh_caches_seconds");
+  static obs::Counter* refresh_count =
+      obs::GlobalMetrics().GetCounter("daakg.align.refresh_caches_calls");
+  obs::ScopedTimer span(refresh_timing);
+  refresh_count->Increment();
   ComputeEntitySimMatrix();
   ComputeMeanEmbeddings();
   caches_ready_ = true;  // schema sims below may consult mean embeddings

@@ -308,48 +308,48 @@ std::vector<EmbeddingBaselineConfig> StandardBaselineRoster(
   };
   {
     auto c = base("MTransE");
-    c.kge_model = "transe";
+    c.kge_model = KgeModelKind::kTransE;
     roster.push_back(c);
   }
   {
     auto c = base("BootEA");
-    c.kge_model = "transe";
+    c.kge_model = KgeModelKind::kTransE;
     c.semi_rounds = 2;
     roster.push_back(c);
   }
   {
     auto c = base("GCN-Align");
-    c.kge_model = "compgcn";
+    c.kge_model = KgeModelKind::kCompGcn;
     c.max_neighbors = 8;
     roster.push_back(c);
   }
   {
     auto c = base("AttrE");
-    c.kge_model = "transe";
+    c.kge_model = KgeModelKind::kTransE;
     c.name_view_weight = 0.7;
     roster.push_back(c);
   }
   {
     auto c = base("RSN");
-    c.kge_model = "transe";
+    c.kge_model = KgeModelKind::kTransE;
     c.path_augmentation = true;
     roster.push_back(c);
   }
   {
     auto c = base("MuGNN");
-    c.kge_model = "compgcn";
+    c.kge_model = KgeModelKind::kCompGcn;
     c.max_neighbors = 20;
     roster.push_back(c);
   }
   {
     auto c = base("MultiKE");
-    c.kge_model = "transe";
+    c.kge_model = KgeModelKind::kTransE;
     c.name_view_weight = 0.5;
     roster.push_back(c);
   }
   {
     auto c = base("KECG");
-    c.kge_model = "compgcn";
+    c.kge_model = KgeModelKind::kCompGcn;
     c.semi_rounds = 1;
     roster.push_back(c);
   }

@@ -28,7 +28,7 @@ namespace daakg {
 //   MultiKE    : multi-view — name view + structure view, equal blend.
 struct EmbeddingBaselineConfig {
   std::string name = "MTransE";
-  std::string kge_model = "transe";  // "transe" or "compgcn"
+  KgeModelKind kge_model = KgeModelKind::kTransE;
   int semi_rounds = 0;               // bootstrapping rounds
   size_t max_neighbors = 12;         // GNN aggregation width
   bool path_augmentation = false;    // RSN: composite 2-hop relations

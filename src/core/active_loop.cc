@@ -4,7 +4,9 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "infer/alignment_graph.h"
+#include "obs/scoped_timer.h"
 
 namespace daakg {
 namespace {
@@ -15,6 +17,47 @@ uint64_t PairKey(const ElementPair& p) {
 }
 
 }  // namespace
+
+Status ActiveLoopConfig::Validate() const {
+  if (batch_size == 0) {
+    return InvalidArgumentError("batch_size must be positive");
+  }
+  if (initial_seed_fraction < 0.0 || initial_seed_fraction > 1.0) {
+    return InvalidArgumentError("initial_seed_fraction must be in [0, 1]");
+  }
+  double prev = 0.0;
+  for (double f : report_fractions) {
+    if (f <= 0.0 || f > 1.0) {
+      return InvalidArgumentError("report_fractions must be in (0, 1]");
+    }
+    if (f <= prev) {
+      return InvalidArgumentError(
+          "report_fractions must be strictly increasing");
+    }
+    prev = f;
+  }
+  if (pool.top_n == 0) {
+    return InvalidArgumentError("pool.top_n must be positive");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<ActiveAlignmentLoop>> ActiveAlignmentLoop::Create(
+    const AlignmentTask* task, DaakgAligner* aligner,
+    SelectionStrategy* strategy, Oracle* oracle,
+    const ActiveLoopConfig& config) {
+  if (task == nullptr) return InvalidArgumentError("task must not be null");
+  if (aligner == nullptr) {
+    return InvalidArgumentError("aligner must not be null");
+  }
+  if (strategy == nullptr) {
+    return InvalidArgumentError("strategy must not be null");
+  }
+  if (oracle == nullptr) return InvalidArgumentError("oracle must not be null");
+  DAAKG_RETURN_IF_ERROR(config.Validate());
+  return std::make_unique<ActiveAlignmentLoop>(task, aligner, strategy, oracle,
+                                               config);
+}
 
 ActiveAlignmentLoop::ActiveAlignmentLoop(const AlignmentTask* task,
                                          DaakgAligner* aligner,
@@ -28,6 +71,10 @@ ActiveAlignmentLoop::ActiveAlignmentLoop(const AlignmentTask* task,
       config_(config) {}
 
 std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
+  static obs::Counter* oracle_queries =
+      obs::GlobalMetrics().GetCounter("daakg.active.oracle_queries");
+  static obs::Counter* oracle_matches =
+      obs::GlobalMetrics().GetCounter("daakg.active.oracle_matches");
   Rng rng(config_.seed);
   std::vector<ActiveRoundReport> reports;
   const size_t total_matches = task_->gold_entities.size() +
@@ -40,6 +87,8 @@ std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
   size_t matches_found =
       seed.entities.size() + seed.relations.size() + seed.classes.size();
   size_t queries = matches_found;
+  oracle_queries->Increment(queries);
+  oracle_matches->Increment(matches_found);
   std::unordered_set<uint64_t> labeled_keys;
   for (const auto& [a, b] : seed.entities) {
     labeled_keys.insert(PairKey(ElementPair{ElementKind::kEntity, a, b}));
@@ -63,6 +112,9 @@ std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
                            : 8 * std::max<size_t>(target_matches, 1);
   size_t next_report = 0;
 
+  // Phase wall-times accumulated since the previous checkpoint; attached
+  // to the next report and then restarted.
+  RoundTelemetry window;
   auto maybe_report = [&]() {
     const double fraction = static_cast<double>(matches_found) /
                             static_cast<double>(total_matches);
@@ -73,19 +125,31 @@ std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
       report.labels_used = queries;
       report.matches_found = matches_found;
       report.eval = aligner_->Evaluate();
+      report.telemetry = window;
       reports.push_back(std::move(report));
       ++next_report;
+      // A second checkpoint crossed by the same round reports an empty
+      // window (no work happened between them), keeping the last pool size.
+      const size_t last_pool = window.pool_size;
+      window = RoundTelemetry{};
+      window.pool_size = last_pool;
     }
   };
   maybe_report();
 
   while (next_report < config_.report_fractions.size() &&
          queries < max_queries) {
+    ++window.rounds;
+    WallTimer refresh_timer;
     aligner_->RefreshCaches();
+    window.refresh_seconds += refresh_timer.ElapsedSeconds();
 
     // Rebuild pool / graph / engine against the refreshed model.
+    WallTimer pool_timer;
     PoolGenerator pool_gen(task_, aligner_->joint(), config_.pool);
     std::vector<ElementPair> pool = pool_gen.Generate();
+    window.pool_build_seconds += pool_timer.ElapsedSeconds();
+    window.pool_size = pool.size();
     AlignmentGraph graph(task_, pool);
     InferenceEngine engine(&graph, aligner_->joint(),
                            aligner_->config().infer);
@@ -104,8 +168,10 @@ std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
     }
 
     SelectionContext ctx{&engine, aligner_->joint(), &labeled};
+    WallTimer select_timer;
     std::vector<uint32_t> batch =
         strategy_->SelectBatch(ctx, config_.batch_size, &rng);
+    window.selection_seconds += select_timer.ElapsedSeconds();
     if (batch.empty()) break;
 
     SeedAlignment new_matches;
@@ -113,8 +179,10 @@ std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
       const ElementPair& pair = pool[q];
       labeled_keys.insert(PairKey(pair));
       ++queries;
+      oracle_queries->Increment();
       if (!oracle_->Label(pair)) continue;
       ++matches_found;
+      oracle_matches->Increment();
       switch (pair.kind) {
         case ElementKind::kEntity:
           new_matches.entities.emplace_back(pair.first, pair.second);
@@ -129,7 +197,9 @@ std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
     }
     if (!new_matches.entities.empty() || !new_matches.relations.empty() ||
         !new_matches.classes.empty()) {
+      WallTimer fine_tune_timer;
       aligner_->FineTune(new_matches);
+      window.fine_tune_seconds += fine_tune_timer.ElapsedSeconds();
     }
     maybe_report();
   }
@@ -142,8 +212,12 @@ std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
     report.labels_used = queries;
     report.matches_found = matches_found;
     report.eval = aligner_->Evaluate();
+    report.telemetry = window;
     reports.push_back(std::move(report));
     ++next_report;
+    const size_t last_pool = window.pool_size;
+    window = RoundTelemetry{};
+    window.pool_size = last_pool;
   }
   return reports;
 }

@@ -13,6 +13,9 @@ namespace daakg {
 
 struct ActiveLoopConfig {
   size_t batch_size = 50;  // B element pairs per oracle round
+  // Rejects non-positive batch sizes, fractions outside [0, 1] and
+  // unsorted/out-of-range report_fractions with InvalidArgumentError.
+  Status Validate() const;
   // Fraction of gold entity matches labeled before active learning starts
   // (the jump-start seed); also counts toward the x-axis fractions.
   double initial_seed_fraction = 0.05;
@@ -26,12 +29,24 @@ struct ActiveLoopConfig {
   uint64_t seed = 97;
 };
 
+// Per-checkpoint observability: phase wall-times and loop counters
+// accumulated since the previous checkpoint (all seconds).
+struct RoundTelemetry {
+  size_t rounds = 0;          // oracle rounds contributing to this span
+  size_t pool_size = 0;       // candidate-pool size of the last round
+  double refresh_seconds = 0.0;
+  double pool_build_seconds = 0.0;
+  double selection_seconds = 0.0;
+  double fine_tune_seconds = 0.0;
+};
+
 // One Fig. 5 measurement point.
 struct ActiveRoundReport {
   double fraction = 0.0;     // labeled matches / gold matches
   size_t labels_used = 0;    // oracle queries consumed so far
   size_t matches_found = 0;  // labeled matches so far
   EvalResult eval;
+  RoundTelemetry telemetry;
 };
 
 // Drives pool generation -> batch selection -> oracle labeling ->
@@ -40,6 +55,14 @@ struct ActiveRoundReport {
 // each round from the refreshed model.
 class ActiveAlignmentLoop {
  public:
+  // Validated construction: null-checks every raw-pointer dependency and
+  // runs ActiveLoopConfig::Validate() up front, so misconfiguration
+  // surfaces before any training instead of crashing mid-run.
+  static StatusOr<std::unique_ptr<ActiveAlignmentLoop>> Create(
+      const AlignmentTask* task, DaakgAligner* aligner,
+      SelectionStrategy* strategy, Oracle* oracle,
+      const ActiveLoopConfig& config);
+
   ActiveAlignmentLoop(const AlignmentTask* task, DaakgAligner* aligner,
                       SelectionStrategy* strategy, Oracle* oracle,
                       const ActiveLoopConfig& config);

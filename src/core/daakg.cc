@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/scoped_timer.h"
 
 namespace daakg {
 namespace {
@@ -45,6 +46,59 @@ std::vector<std::pair<uint32_t, uint32_t>> TestPairs(
 }
 
 }  // namespace
+
+Status DaakgConfig::Validate() const {
+  switch (kge_model) {
+    case KgeModelKind::kTransE:
+    case KgeModelKind::kRotatE:
+    case KgeModelKind::kCompGcn:
+      break;
+    default:
+      // A blind cast can smuggle in any integer; catch it here rather than
+      // letting MakeKgeModel return nullptr mid-construction.
+      return InvalidArgumentError("kge_model holds an out-of-range value");
+  }
+  if (kge.dim == 0) return InvalidArgumentError("kge.dim must be positive");
+  if (kge.class_dim == 0) {
+    return InvalidArgumentError("kge.class_dim must be positive");
+  }
+  if (kge.epochs <= 0) {
+    return InvalidArgumentError("kge.epochs must be positive");
+  }
+  if (kge.learning_rate <= 0.0f) {
+    return InvalidArgumentError("kge.learning_rate must be positive");
+  }
+  if (kge.num_negatives <= 0) {
+    return InvalidArgumentError("kge.num_negatives must be positive");
+  }
+  if (align.align_epochs <= 0) {
+    return InvalidArgumentError("align.align_epochs must be positive");
+  }
+  if (align.joint_epochs_per_round <= 0) {
+    return InvalidArgumentError(
+        "align.joint_epochs_per_round must be positive");
+  }
+  if (align.align_lr <= 0.0f) {
+    return InvalidArgumentError("align.align_lr must be positive");
+  }
+  if (align.tau < 0.0 || align.tau > 1.0) {
+    return InvalidArgumentError("align.tau must be in [0, 1]");
+  }
+  if (fine_tune_epochs <= 0) {
+    return InvalidArgumentError("fine_tune_epochs must be positive");
+  }
+  if (match_threshold < 0.0f || match_threshold > 1.0f) {
+    return InvalidArgumentError("match_threshold must be in [0, 1]");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<DaakgAligner>> DaakgAligner::Create(
+    const AlignmentTask* task, const DaakgConfig& config) {
+  if (task == nullptr) return InvalidArgumentError("task must not be null");
+  DAAKG_RETURN_IF_ERROR(config.Validate());
+  return std::make_unique<DaakgAligner>(task, config);
+}
 
 DaakgAligner::DaakgAligner(const AlignmentTask* task,
                            const DaakgConfig& config)
@@ -89,6 +143,9 @@ void DaakgAligner::KgeEpoch() {
 }
 
 void DaakgAligner::JointRound(const SeedAlignment& train_set, bool focal) {
+  static obs::Histogram* round_timing =
+      obs::GlobalMetrics().GetHistogram("daakg.align.joint_round_seconds");
+  obs::ScopedTimer span(round_timing);
   KgeEpoch();
   Rng rng = rng_.Fork();
   for (int k = 0; k < config_.align.joint_epochs_per_round; ++k) {
@@ -100,8 +157,11 @@ void DaakgAligner::JointRound(const SeedAlignment& train_set, bool focal) {
 }
 
 void DaakgAligner::RefreshSemiSupervision() {
+  static obs::Counter* semi_pairs_count =
+      obs::GlobalMetrics().GetCounter("daakg.align.semi_supervised_pairs");
   joint_->RefreshCaches();
   semi_pairs_ = joint_->MineSemiSupervision();
+  semi_pairs_count->Increment(semi_pairs_.size());
   // The confident subset also acts as pseudo-seeds for the contrastive
   // loss (the bootstrapping of BootEA that Sect. 4.2 adopts). Conflicts
   // were already resolved one-to-one during mining.
@@ -149,6 +209,9 @@ void DaakgAligner::Train(const SeedAlignment& seed) {
 }
 
 void DaakgAligner::FineTune(const SeedAlignment& new_matches) {
+  static obs::Histogram* fine_tune_timing =
+      obs::GlobalMetrics().GetHistogram("daakg.core.fine_tune_seconds");
+  obs::ScopedTimer span(fine_tune_timing);
   MergePairs(&labeled_.entities, new_matches.entities);
   MergePairs(&labeled_.relations, new_matches.relations);
   MergePairs(&labeled_.classes, new_matches.classes);

@@ -17,8 +17,9 @@ namespace daakg {
 
 // Top-level configuration of the DAAKG pipeline (Fig. 2).
 struct DaakgConfig {
-  // Base entity-relation embedding model: "transe", "rotate" or "compgcn".
-  std::string kge_model = "compgcn";
+  // Base entity-relation embedding model. Config files carrying a string
+  // name go through ParseKgeModelKind().
+  KgeModelKind kge_model = KgeModelKind::kCompGcn;
   KgeConfig kge;
   JointAlignConfig align;
   InferenceConfig infer;
@@ -31,6 +32,12 @@ struct DaakgConfig {
   // final alignments (F1).
   float match_threshold = 0.5f;
   uint64_t seed = 17;
+
+  // Rejects configurations the pipeline cannot run (non-positive
+  // epochs/dimensions, thresholds outside [0, 1], ...) with
+  // InvalidArgumentError. DaakgAligner::Create() calls this before
+  // constructing anything.
+  Status Validate() const;
 };
 
 // Per-element-kind evaluation scores (one Table 3 cell group).
@@ -46,7 +53,14 @@ struct EvalResult {
 // FineTune() with each newly labeled batch.
 class DaakgAligner {
  public:
-  // `task` must outlive the aligner.
+  // Validated construction: checks `task` for null and `config` via
+  // DaakgConfig::Validate() before building any model state. Prefer this
+  // over the raw constructor in application code.
+  static StatusOr<std::unique_ptr<DaakgAligner>> Create(
+      const AlignmentTask* task, const DaakgConfig& config);
+
+  // `task` must outlive the aligner. Assumes `config` is valid; call
+  // Create() to get validation.
   DaakgAligner(const AlignmentTask* task, const DaakgConfig& config);
 
   const AlignmentTask& task() const { return *task_; }

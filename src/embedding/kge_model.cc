@@ -62,20 +62,46 @@ void KgeModel::NormalizeRelations() {
   }
 }
 
-std::unique_ptr<KgeModel> MakeKgeModel(const std::string& model_name,
+StatusOr<KgeModelKind> ParseKgeModelKind(std::string_view name) {
+  if (name == "transe") return KgeModelKind::kTransE;
+  if (name == "rotate") return KgeModelKind::kRotatE;
+  if (name == "compgcn") return KgeModelKind::kCompGcn;
+  return InvalidArgumentError("unknown KGE model: \"" + std::string(name) +
+                              "\" (expected transe, rotate, or compgcn)");
+}
+
+std::string_view KgeModelKindToString(KgeModelKind kind) {
+  switch (kind) {
+    case KgeModelKind::kTransE:
+      return "transe";
+    case KgeModelKind::kRotatE:
+      return "rotate";
+    case KgeModelKind::kCompGcn:
+      return "compgcn";
+  }
+  return "<invalid>";
+}
+
+std::unique_ptr<KgeModel> MakeKgeModel(KgeModelKind kind,
                                        const KnowledgeGraph* kg,
                                        const KgeConfig& config) {
-  if (model_name == "transe") {
-    return std::make_unique<TransE>(kg, config);
+  switch (kind) {
+    case KgeModelKind::kTransE:
+      return std::make_unique<TransE>(kg, config);
+    case KgeModelKind::kRotatE:
+      return std::make_unique<RotatE>(kg, config);
+    case KgeModelKind::kCompGcn:
+      return std::make_unique<CompGcn>(kg, config);
   }
-  if (model_name == "rotate") {
-    return std::make_unique<RotatE>(kg, config);
-  }
-  if (model_name == "compgcn") {
-    return std::make_unique<CompGcn>(kg, config);
-  }
-  LOG_FATAL << "unknown KGE model: " << model_name;
   return nullptr;
+}
+
+StatusOr<std::unique_ptr<KgeModel>> MakeKgeModel(const std::string& model_name,
+                                                 const KnowledgeGraph* kg,
+                                                 const KgeConfig& config) {
+  DAAKG_ASSIGN_OR_RETURN(const KgeModelKind kind,
+                         ParseKgeModelKind(model_name));
+  return MakeKgeModel(kind, kg, config);
 }
 
 }  // namespace daakg

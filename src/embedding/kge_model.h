@@ -3,13 +3,30 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "common/rng.h"
+#include "common/status.h"
 #include "kg/knowledge_graph.h"
 #include "tensor/matrix.h"
 #include "tensor/vector.h"
 
 namespace daakg {
+
+// The entity-relation embedding geometries this library implements
+// (paper Sect. 4.1).
+enum class KgeModelKind {
+  kTransE,
+  kRotatE,
+  kCompGcn,
+};
+
+// Parses a config-file model name ("transe", "rotate", "compgcn";
+// case-sensitive). Unknown names yield InvalidArgumentError.
+StatusOr<KgeModelKind> ParseKgeModelKind(std::string_view name);
+
+// Canonical config-file spelling of `kind`.
+std::string_view KgeModelKindToString(KgeModelKind kind);
 
 // Hyper-parameters shared by the entity-relation embedding models. Paper
 // defaults (Sect. 7.1), scaled-down dimensions for CPU training.
@@ -123,10 +140,18 @@ class KgeModel {
   Matrix relations_;  // num_relations x dim (incl. reverse relations)
 };
 
-// Factory by model name: "transe", "rotate", "compgcn".
-std::unique_ptr<KgeModel> MakeKgeModel(const std::string& model_name,
+// Factory by model kind. Never fails for a valid enumerator; an
+// out-of-range value (e.g. from a blind cast) returns nullptr rather than
+// aborting.
+std::unique_ptr<KgeModel> MakeKgeModel(KgeModelKind kind,
                                        const KnowledgeGraph* kg,
                                        const KgeConfig& config);
+
+// Factory by config-file model name: "transe", "rotate", "compgcn".
+// Unknown names flow back as InvalidArgumentError instead of LOG_FATAL.
+StatusOr<std::unique_ptr<KgeModel>> MakeKgeModel(const std::string& model_name,
+                                                 const KnowledgeGraph* kg,
+                                                 const KgeConfig& config);
 
 }  // namespace daakg
 

@@ -4,10 +4,16 @@
 #include <vector>
 
 #include "embedding/negative_sampler.h"
+#include "obs/scoped_timer.h"
 
 namespace daakg {
 
 void KgeTrainer::TrainEpoch(Rng* rng, KgeTrainStats* stats) {
+  static obs::Histogram* epoch_timing =
+      obs::GlobalMetrics().GetHistogram("daakg.embedding.kge_epoch_seconds");
+  static obs::Counter* train_steps =
+      obs::GlobalMetrics().GetCounter("daakg.embedding.kge_train_steps");
+  obs::ScopedTimer span(epoch_timing);
   const KnowledgeGraph& kg = model_->kg();
   const KgeConfig& cfg = model_->config();
   NegativeSampler sampler(&kg);
@@ -50,6 +56,7 @@ void KgeTrainer::TrainEpoch(Rng* rng, KgeTrainStats* stats) {
   model_->NormalizeEntities();
   model_->NormalizeRelations();
 
+  train_steps->Increment(er_steps + ec_steps);
   ++stats->epochs;
   stats->final_er_loss = er_steps > 0 ? er_loss / static_cast<double>(er_steps) : 0.0;
   stats->final_ec_loss = ec_steps > 0 ? ec_loss / static_cast<double>(ec_steps) : 0.0;

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "common/thread_pool.h"
+#include "obs/scoped_timer.h"
 
 namespace daakg {
 namespace {
@@ -17,6 +18,11 @@ InferenceEngine::InferenceEngine(const AlignmentGraph* graph,
                                  const InferenceConfig& config)
     : graph_(graph), model_(model), config_(config), rng_(config.seed) {
   DAAKG_CHECK(model->caches_ready());
+  obs::MetricsRegistry& metrics = obs::GlobalMetrics();
+  power_from_calls_ = metrics.GetCounter("daakg.infer.power_from_calls");
+  power_entries_ = metrics.GetCounter("daakg.infer.power_entries");
+  precompute_timing_ =
+      metrics.GetHistogram("daakg.infer.precompute_edge_costs_seconds");
 }
 
 const InferenceEngine::EdgeBound& InferenceEngine::BoundFor(
@@ -80,6 +86,7 @@ float InferenceEngine::ComputeEdgeCost(uint32_t node,
 }
 
 void InferenceEngine::PrecomputeEdgeCosts() {
+  obs::ScopedTimer span(precompute_timing_);
   const size_t n = graph_->num_nodes();
   costs_.assign(n, {});
   // Single pass; the per-side bound caches make repeated KG edges cheap.
@@ -129,6 +136,7 @@ float InferenceEngine::EdgeCost(uint32_t node, size_t edge_index) const {
 
 PowerRow InferenceEngine::PowerFrom(uint32_t src) const {
   DAAKG_CHECK(costs_ready_);
+  power_from_calls_->Increment();
   PowerRow out;
   const ElementPair& src_pair = graph_->pool()[src];
   const float max_cost =
@@ -184,6 +192,7 @@ PowerRow InferenceEngine::PowerFrom(uint32_t src) const {
     for (const auto& [node, power] : schema_power) {
       if (power > config_.power_floor) out.emplace_back(node, power);
     }
+    power_entries_->Increment(out.size());
     return out;
   }
 
@@ -222,6 +231,7 @@ PowerRow InferenceEngine::PowerFrom(uint32_t src) const {
     for (const auto& [node, power] : target_power) {
       if (power > config_.power_floor) out.emplace_back(node, power);
     }
+    power_entries_->Increment(out.size());
     return out;
   }
 

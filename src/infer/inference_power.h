@@ -7,6 +7,7 @@
 
 #include "align/joint_model.h"
 #include "infer/alignment_graph.h"
+#include "obs/metrics.h"
 
 namespace daakg {
 
@@ -109,6 +110,13 @@ class InferenceEngine {
   const JointAlignmentModel* model_;
   InferenceConfig config_;
   mutable Rng rng_;
+
+  // Metric handles hoisted at construction: PowerFrom() runs inside
+  // ParallelFor, so the registry's registration mutex must stay off the
+  // per-call path.
+  obs::Counter* power_from_calls_;
+  obs::Counter* power_entries_;
+  obs::Histogram* precompute_timing_;
 
   // costs_[node][k] parallels graph_->Out(node).
   std::vector<std::vector<float>> costs_;

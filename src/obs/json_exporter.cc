@@ -1,0 +1,120 @@
+#include "obs/json_exporter.h"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "common/file_util.h"
+#include "common/string_util.h"
+
+namespace daakg {
+namespace obs {
+namespace {
+
+// Escapes a metric name for use as a JSON string. Names are ASCII
+// identifiers by convention, so only the JSON structural characters need
+// handling.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// JSON has no Infinity/NaN literals; gauges should never hold them but a
+// caller Set(NaN) must not produce an unparseable file.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  return StrFormat("%.9g", v);
+}
+
+void AppendHistogram(const Histogram& h, std::string* out) {
+  out->append(StrFormat(
+      "{\"count\": %llu, \"sum\": %s, \"min\": %s, \"max\": %s, "
+      "\"mean\": %s, \"buckets\": [",
+      static_cast<unsigned long long>(h.Count()), JsonNumber(h.Sum()).c_str(),
+      JsonNumber(h.Min()).c_str(), JsonNumber(h.Max()).c_str(),
+      JsonNumber(h.Mean()).c_str()));
+  bool first = true;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t count = h.BucketCount(i);
+    if (count == 0) continue;
+    if (!first) out->append(", ");
+    first = false;
+    const double le = Histogram::BucketUpperBound(i);
+    if (std::isinf(le)) {
+      out->append(StrFormat("{\"le\": \"+Inf\", \"count\": %llu}",
+                            static_cast<unsigned long long>(count)));
+    } else {
+      out->append(StrFormat("{\"le\": %s, \"count\": %llu}",
+                            JsonNumber(le).c_str(),
+                            static_cast<unsigned long long>(count)));
+    }
+  }
+  out->append("]}");
+}
+
+}  // namespace
+
+std::string MetricsToJson(const MetricsRegistry& registry) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : registry.Counters()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\n    \"%s\": %llu", JsonEscape(name).c_str(),
+                     static_cast<unsigned long long>(counter->Value()));
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : registry.Gauges()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\n    \"%s\": %s", JsonEscape(name).c_str(),
+                     JsonNumber(gauge->Value()).c_str());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : registry.Histograms()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat("\n    \"%s\": ", JsonEscape(name).c_str());
+    AppendHistogram(*hist, &out);
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const std::string& path) {
+  return WriteStringToFile(path, MetricsToJson(registry) + "\n");
+}
+
+}  // namespace obs
+}  // namespace daakg

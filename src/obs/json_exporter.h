@@ -1,0 +1,37 @@
+#ifndef DAAKG_OBS_JSON_EXPORTER_H_
+#define DAAKG_OBS_JSON_EXPORTER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace daakg {
+namespace obs {
+
+// Serializes a registry snapshot as a JSON object:
+//
+//   {
+//     "counters":   { "daakg.active.oracle_queries": 120, ... },
+//     "gauges":     { "daakg.active.pool_size": 4096.0, ... },
+//     "histograms": {
+//       "daakg.active.pool_build_seconds": {
+//         "count": 5, "sum": 0.71, "min": 0.12, "max": 0.18, "mean": 0.142,
+//         "buckets": [ { "le": 0.131072, "count": 3 },
+//                      { "le": "+Inf",   "count": 2 } ]
+//       }, ...
+//     }
+//   }
+//
+// Empty buckets are omitted; the overflow bucket's bound is the string
+// "+Inf" because JSON has no infinity literal.
+std::string MetricsToJson(const MetricsRegistry& registry);
+
+// Writes MetricsToJson(registry) to `path` (with a trailing newline).
+Status WriteMetricsJson(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace obs
+}  // namespace daakg
+
+#endif  // DAAKG_OBS_JSON_EXPORTER_H_

@@ -1,0 +1,129 @@
+#ifndef DAAKG_OBS_METRICS_H_
+#define DAAKG_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace daakg {
+namespace obs {
+
+// Run-wide observability primitives. Design constraints (see DESIGN.md,
+// "Observability"):
+//   * handles returned by MetricsRegistry are stable for the registry's
+//     lifetime — callers hoist them out of hot loops and increment lock-free;
+//   * every mutation is a relaxed atomic op (or a short CAS loop), safe under
+//     ThreadPool fan-out; the registry mutex guards registration only;
+//   * names follow `daakg.<layer>.<metric>` (e.g.
+//     `daakg.active.pool_build_seconds`).
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-written level (pool sizes, partition counts, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Distribution of non-negative samples over fixed log-scale buckets.
+//
+// Bucket 0 holds samples <= kFirstUpperBound; bucket i (1 <= i <
+// kNumBuckets - 1) holds (kFirstUpperBound * 2^(i-1), kFirstUpperBound *
+// 2^i]; the last bucket is the overflow. With the defaults the range spans
+// 1 microsecond .. ~200 days when samples are seconds, which covers every
+// phase this library times.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 46;
+  static constexpr double kFirstUpperBound = 1e-6;
+
+  // Records one sample. Non-finite and negative samples count into bucket 0
+  // with value 0 (they indicate a caller bug but must not poison the stats).
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Min()/Max() are 0 while Count() == 0.
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Inclusive upper bound of bucket `i`; +infinity for the overflow bucket.
+  static double BucketUpperBound(size_t i);
+  // Index of the bucket `value` falls into.
+  static size_t BucketIndex(double value);
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid while count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+// Owns named metrics. Get*() registers on first use and always returns the
+// same pointer for the same name afterwards; pointers stay valid until the
+// registry is destroyed (Reset() zeroes values in place, it never
+// deallocates). The same name may back a counter, a gauge and a histogram
+// simultaneously (they live in separate namespaces), but instrumentation
+// should not rely on that.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  // Snapshots for exporters, sorted by name.
+  std::vector<std::pair<std::string, const Counter*>> Counters() const;
+  std::vector<std::pair<std::string, const Gauge*>> Gauges() const;
+  std::vector<std::pair<std::string, const Histogram*>> Histograms() const;
+
+  // Zeroes every metric; previously returned handles remain valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: node-based, so value addresses are stable across inserts.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Process-wide registry the library's built-in instrumentation writes to.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace obs
+}  // namespace daakg
+
+#endif  // DAAKG_OBS_METRICS_H_

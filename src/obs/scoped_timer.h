@@ -1,0 +1,52 @@
+#ifndef DAAKG_OBS_SCOPED_TIMER_H_
+#define DAAKG_OBS_SCOPED_TIMER_H_
+
+#include <chrono>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace daakg {
+namespace obs {
+
+// RAII phase span: records the elapsed wall time (seconds) into a histogram
+// when it goes out of scope. Typical use, with the handle hoisted so the
+// registry lookup happens once:
+//
+//   static Histogram* timing =
+//       GlobalMetrics().GetHistogram("daakg.active.pool_build_seconds");
+//   ScopedTimer span(timing);
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(Clock::now()) {}
+  // Convenience overload that resolves the histogram by name. Prefer the
+  // pointer overload on hot paths.
+  ScopedTimer(MetricsRegistry* registry, std::string_view name)
+      : ScopedTimer(registry->GetHistogram(name)) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Record(Elapsed());
+  }
+
+  // Seconds since construction.
+  double Elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  // Detaches the timer: nothing is recorded at destruction.
+  void Cancel() { histogram_ = nullptr; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* histogram_;
+  Clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace daakg
+
+#endif  // DAAKG_OBS_SCOPED_TIMER_H_

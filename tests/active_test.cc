@@ -26,8 +26,8 @@ class ActiveTest : public ::testing::Test {
     kge.dim = 16;
     kge.class_dim = 8;
     kge.epochs = 10;
-    model1_ = MakeKgeModel("transe", &task_.kg1, kge);
-    model2_ = MakeKgeModel("transe", &task_.kg2, kge);
+    model1_ = MakeKgeModel(KgeModelKind::kTransE, &task_.kg1, kge);
+    model2_ = MakeKgeModel(KgeModelKind::kTransE, &task_.kg2, kge);
     Rng rng(61);
     model1_->Init(&rng);
     model2_->Init(&rng);

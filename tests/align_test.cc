@@ -186,8 +186,8 @@ class JointModelTest : public ::testing::Test {
     kge.dim = 16;
     kge.class_dim = 8;
     kge.epochs = 8;
-    model1_ = MakeKgeModel("transe", &task_.kg1, kge);
-    model2_ = MakeKgeModel("transe", &task_.kg2, kge);
+    model1_ = MakeKgeModel(KgeModelKind::kTransE, &task_.kg1, kge);
+    model2_ = MakeKgeModel(KgeModelKind::kTransE, &task_.kg2, kge);
     ec1_ = std::make_unique<EntityClassModel>(model1_.get(), kge);
     ec2_ = std::make_unique<EntityClassModel>(model2_.get(), kge);
     JointAlignConfig cfg;
@@ -325,8 +325,8 @@ TEST(JointModelNoEcTest, ClassSimFallsBackToMeans) {
   KgeConfig kge;
   kge.dim = 16;
   kge.epochs = 4;
-  auto m1 = MakeKgeModel("transe", &task.kg1, kge);
-  auto m2 = MakeKgeModel("transe", &task.kg2, kge);
+  auto m1 = MakeKgeModel(KgeModelKind::kTransE, &task.kg1, kge);
+  auto m2 = MakeKgeModel(KgeModelKind::kTransE, &task.kg2, kge);
   Rng rng(53);
   m1->Init(&rng);
   m2->Init(&rng);

@@ -52,7 +52,7 @@ TEST(BaselineRosterTest, ConfigurationsAreDistinct) {
   EXPECT_GT(find("AttrE").name_view_weight, 0.0);
   EXPECT_GT(find("MultiKE").name_view_weight, 0.0);
   EXPECT_TRUE(find("RSN").path_augmentation);
-  EXPECT_EQ(find("GCN-Align").kge_model, "compgcn");
+  EXPECT_EQ(find("GCN-Align").kge_model, KgeModelKind::kCompGcn);
   EXPECT_GT(find("MuGNN").max_neighbors, find("GCN-Align").max_neighbors);
 }
 

@@ -13,7 +13,7 @@ using testing_util::SmallSyntheticTask;
 
 DaakgConfig FastConfig() {
   DaakgConfig cfg;
-  cfg.kge_model = "transe";
+  cfg.kge_model = KgeModelKind::kTransE;
   cfg.kge.dim = 16;
   cfg.kge.class_dim = 8;
   cfg.kge.epochs = 8;
@@ -21,6 +21,116 @@ DaakgConfig FastConfig() {
   cfg.align.joint_epochs_per_round = 2;
   cfg.fine_tune_epochs = 4;
   return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Config validation / Create()
+// ---------------------------------------------------------------------------
+
+TEST(DaakgConfigTest, DefaultAndFastConfigsValidate) {
+  EXPECT_TRUE(DaakgConfig().Validate().ok());
+  EXPECT_TRUE(FastConfig().Validate().ok());
+}
+
+TEST(DaakgConfigTest, RejectsBadValues) {
+  auto expect_invalid = [](DaakgConfig cfg) {
+    Status status = cfg.Validate();
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << status;
+  };
+  DaakgConfig cfg = FastConfig();
+  cfg.kge.epochs = -1;
+  expect_invalid(cfg);
+  cfg = FastConfig();
+  cfg.kge.epochs = 0;
+  expect_invalid(cfg);
+  cfg = FastConfig();
+  cfg.kge.dim = 0;
+  expect_invalid(cfg);
+  cfg = FastConfig();
+  cfg.fine_tune_epochs = -3;
+  expect_invalid(cfg);
+  cfg = FastConfig();
+  cfg.match_threshold = 1.5f;
+  expect_invalid(cfg);
+  cfg = FastConfig();
+  cfg.match_threshold = -0.1f;
+  expect_invalid(cfg);
+  cfg = FastConfig();
+  cfg.align.tau = 2.0;
+  expect_invalid(cfg);
+  cfg = FastConfig();
+  cfg.align.align_epochs = 0;
+  expect_invalid(cfg);
+  cfg = FastConfig();
+  cfg.kge_model = static_cast<KgeModelKind>(99);
+  expect_invalid(cfg);
+}
+
+TEST(DaakgAlignerTest, CreateRejectsInvalidConfigWithoutAborting) {
+  AlignmentTask task = SmallSyntheticTask();
+  DaakgConfig cfg = FastConfig();
+  cfg.kge.epochs = -5;
+  auto aligner = DaakgAligner::Create(&task, cfg);
+  ASSERT_FALSE(aligner.ok());
+  EXPECT_EQ(aligner.status().code(), StatusCode::kInvalidArgument);
+  auto null_task = DaakgAligner::Create(nullptr, FastConfig());
+  ASSERT_FALSE(null_task.ok());
+  EXPECT_EQ(null_task.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DaakgAlignerTest, CreateBuildsWorkingAligner) {
+  AlignmentTask task = SmallSyntheticTask();
+  auto aligner = DaakgAligner::Create(&task, FastConfig());
+  ASSERT_TRUE(aligner.ok()) << aligner.status();
+  Rng rng(4);
+  (*aligner)->Train(task.SampleSeed(0.2, &rng));
+  EXPECT_GE((*aligner)->Evaluate().ent_rank.mrr, 0.0);
+}
+
+TEST(ActiveLoopConfigTest, ValidatesAndRejects) {
+  ActiveLoopConfig cfg;
+  EXPECT_TRUE(cfg.Validate().ok());
+  cfg.batch_size = 0;
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = ActiveLoopConfig();
+  cfg.initial_seed_fraction = -0.5;
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = ActiveLoopConfig();
+  cfg.report_fractions = {0.2, 0.1};  // unsorted
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = ActiveLoopConfig();
+  cfg.report_fractions = {0.1, 0.1};  // not strictly increasing
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = ActiveLoopConfig();
+  cfg.report_fractions = {0.0, 0.5};  // out of (0, 1]
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+  cfg = ActiveLoopConfig();
+  cfg.pool.top_n = 0;
+  EXPECT_EQ(cfg.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ActiveLoopTest, CreateNullChecksDependencies) {
+  AlignmentTask task = SmallSyntheticTask();
+  DaakgAligner aligner(&task, FastConfig());
+  GoldOracle oracle(&task);
+  RandomStrategy strategy;
+  ActiveLoopConfig cfg;
+  EXPECT_FALSE(
+      ActiveAlignmentLoop::Create(nullptr, &aligner, &strategy, &oracle, cfg)
+          .ok());
+  EXPECT_FALSE(
+      ActiveAlignmentLoop::Create(&task, nullptr, &strategy, &oracle, cfg)
+          .ok());
+  EXPECT_FALSE(
+      ActiveAlignmentLoop::Create(&task, &aligner, nullptr, &oracle, cfg)
+          .ok());
+  EXPECT_FALSE(
+      ActiveAlignmentLoop::Create(&task, &aligner, &strategy, nullptr, cfg)
+          .ok());
+  auto loop =
+      ActiveAlignmentLoop::Create(&task, &aligner, &strategy, &oracle, cfg);
+  EXPECT_TRUE(loop.ok()) << loop.status();
 }
 
 TEST(DaakgAlignerTest, TrainEvaluateProducesPopulatedScores) {
@@ -144,7 +254,9 @@ class ModelPipelineTest : public ::testing::TestWithParam<const char*> {};
 TEST_P(ModelPipelineTest, TrainsAndEvaluates) {
   AlignmentTask task = SmallSyntheticTask();
   DaakgConfig cfg = FastConfig();
-  cfg.kge_model = GetParam();
+  auto kind = ParseKgeModelKind(GetParam());
+  ASSERT_TRUE(kind.ok()) << kind.status();
+  cfg.kge_model = kind.value();
   cfg.align.align_epochs = 10;  // keep CompGCN affordable in tests
   DaakgAligner aligner(&task, cfg);
   Rng rng(8);
@@ -178,6 +290,12 @@ TEST(ActiveLoopTest, RunsToCheckpointsAndReports) {
   EXPECT_GE(reports[1].labels_used, reports[0].labels_used);
   EXPECT_GE(reports[1].matches_found, reports[0].matches_found);
   EXPECT_GT(oracle.queries(), 0u);
+  // Reaching 10% from a 5% seed needs at least one oracle round, so the
+  // first checkpoint carries that round's telemetry.
+  EXPECT_GE(reports[0].telemetry.rounds, 1u);
+  EXPECT_GT(reports[0].telemetry.pool_size, 0u);
+  EXPECT_GE(reports[0].telemetry.pool_build_seconds, 0.0);
+  EXPECT_GE(reports[0].telemetry.selection_seconds, 0.0);
 }
 
 TEST(ActiveLoopTest, DaakgStrategyMakesProgressUnderBudget) {

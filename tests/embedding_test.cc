@@ -27,7 +27,7 @@ class KgeModelTest : public ::testing::TestWithParam<const char*> {
  protected:
   void SetUp() override {
     task_ = SmallSyntheticTask();
-    model_ = MakeKgeModel(GetParam(), &task_.kg1, TestConfig());
+    model_ = MakeKgeModel(GetParam(), &task_.kg1, TestConfig()).value();
     Rng rng(77);
     model_->Init(&rng);
   }
@@ -133,7 +133,7 @@ INSTANTIATE_TEST_SUITE_P(AllModels, KgeModelTest,
 
 TEST(TransEGradientTest, ScoreGradientMatchesFiniteDifference) {
   AlignmentTask task = SmallSyntheticTask();
-  auto model = MakeKgeModel("transe", &task.kg1, TestConfig());
+  auto model = MakeKgeModel(KgeModelKind::kTransE, &task.kg1, TestConfig());
   Rng rng(9);
   model->Init(&rng);
   const Triplet& t = task.kg1.triplets()[2];
@@ -164,13 +164,13 @@ TEST(RotatETest, RequiresEvenDimension) {
   AlignmentTask task = SmallSyntheticTask();
   KgeConfig cfg = TestConfig();
   cfg.dim = 16;
-  auto model = MakeKgeModel("rotate", &task.kg1, cfg);
+  auto model = MakeKgeModel(KgeModelKind::kRotatE, &task.kg1, cfg);
   EXPECT_EQ(model->dim(), 16u);
 }
 
 TEST(RotatETest, RelationReprIsUnitPerCoordinate) {
   AlignmentTask task = SmallSyntheticTask();
-  auto model = MakeKgeModel("rotate", &task.kg1, TestConfig());
+  auto model = MakeKgeModel(KgeModelKind::kRotatE, &task.kg1, TestConfig());
   Rng rng(10);
   model->Init(&rng);
   Vector repr = model->RelationRepr(0);
@@ -182,7 +182,7 @@ TEST(RotatETest, RelationReprIsUnitPerCoordinate) {
 
 TEST(RotatETest, IdentityRotationPreservesEntity) {
   AlignmentTask task = SmallSyntheticTask();
-  auto model = MakeKgeModel("rotate", &task.kg1, TestConfig());
+  auto model = MakeKgeModel(KgeModelKind::kRotatE, &task.kg1, TestConfig());
   Rng rng(11);
   model->Init(&rng);
   // Zero all phases of relation 0: h o r == h, so Score = ||h - t||.
@@ -201,7 +201,7 @@ TEST(RotatETest, IdentityRotationPreservesEntity) {
 
 TEST(CompGcnTest, EncodedReprDiffersFromBase) {
   AlignmentTask task = SmallSyntheticTask();
-  auto model = MakeKgeModel("compgcn", &task.kg1, TestConfig());
+  auto model = MakeKgeModel(KgeModelKind::kCompGcn, &task.kg1, TestConfig());
   Rng rng(12);
   model->Init(&rng);
   // With a non-zero W_nbr and neighbors, the encoding mixes neighborhood
@@ -213,7 +213,7 @@ TEST(CompGcnTest, EncodedReprDiffersFromBase) {
 
 TEST(CompGcnTest, AggregationRefreshTracksEmbeddingChanges) {
   AlignmentTask task = SmallSyntheticTask();
-  auto model = MakeKgeModel("compgcn", &task.kg1, TestConfig());
+  auto model = MakeKgeModel(KgeModelKind::kCompGcn, &task.kg1, TestConfig());
   Rng rng(13);
   model->Init(&rng);
   Vector before = model->EntityRepr(0);
@@ -235,7 +235,7 @@ class EntityClassModelTest : public ::testing::Test {
  protected:
   void SetUp() override {
     task_ = SmallSyntheticTask();
-    model_ = MakeKgeModel("transe", &task_.kg1, TestConfig());
+    model_ = MakeKgeModel(KgeModelKind::kTransE, &task_.kg1, TestConfig());
     ec_ = std::make_unique<EntityClassModel>(model_.get(), TestConfig());
     Rng rng(14);
     model_->Init(&rng);
@@ -334,7 +334,7 @@ TEST(NegativeSamplerTest, CorruptEntityOfClassAvoidsMembersMostly) {
 
 TEST(KgeTrainerTest, LossDecreasesOverEpochs) {
   AlignmentTask task = SmallSyntheticTask();
-  auto model = MakeKgeModel("transe", &task.kg1, TestConfig());
+  auto model = MakeKgeModel(KgeModelKind::kTransE, &task.kg1, TestConfig());
   Rng rng(19);
   model->Init(&rng);
   KgeTrainer trainer(model.get(), nullptr);
@@ -349,7 +349,7 @@ TEST(KgeTrainerTest, TrainReportsEpochCount) {
   AlignmentTask task = SmallSyntheticTask();
   KgeConfig cfg = TestConfig();
   cfg.epochs = 4;
-  auto model = MakeKgeModel("transe", &task.kg1, cfg);
+  auto model = MakeKgeModel(KgeModelKind::kTransE, &task.kg1, cfg);
   Rng rng(20);
   model->Init(&rng);
   KgeTrainer trainer(model.get(), nullptr);
@@ -361,8 +361,27 @@ TEST(KgeFactoryTest, KnownNamesConstruct) {
   AlignmentTask task = SmallSyntheticTask();
   for (const char* name : {"transe", "rotate", "compgcn"}) {
     auto model = MakeKgeModel(name, &task.kg1, TestConfig());
-    EXPECT_EQ(model->name(), name);
+    ASSERT_TRUE(model.ok()) << model.status();
+    EXPECT_EQ((*model)->name(), name);
   }
+}
+
+TEST(KgeFactoryTest, UnknownNameReturnsInvalidArgument) {
+  AlignmentTask task = SmallSyntheticTask();
+  auto model = MakeKgeModel("bogus", &task.kg1, TestConfig());
+  ASSERT_FALSE(model.ok());
+  EXPECT_EQ(model.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KgeFactoryTest, ParseKgeModelKindRoundTrips) {
+  for (KgeModelKind kind : {KgeModelKind::kTransE, KgeModelKind::kRotatE,
+                            KgeModelKind::kCompGcn}) {
+    auto parsed = ParseKgeModelKind(KgeModelKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+  EXPECT_FALSE(ParseKgeModelKind("TransE").ok());  // case-sensitive
+  EXPECT_FALSE(ParseKgeModelKind("").ok());
 }
 
 }  // namespace

@@ -24,8 +24,8 @@ class InferTest : public ::testing::Test {
     kge.dim = 8;
     kge.class_dim = 4;
     kge.epochs = 30;
-    model1_ = MakeKgeModel("transe", &task_.kg1, kge);
-    model2_ = MakeKgeModel("transe", &task_.kg2, kge);
+    model1_ = MakeKgeModel(KgeModelKind::kTransE, &task_.kg1, kge);
+    model2_ = MakeKgeModel(KgeModelKind::kTransE, &task_.kg2, kge);
     Rng rng(31);
     model1_->Init(&rng);
     model2_->Init(&rng);

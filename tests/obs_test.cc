@@ -1,0 +1,426 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/json_exporter.h"
+#include "obs/metrics.h"
+#include "obs/scoped_timer.h"
+
+namespace daakg {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader for round-trip checks: parses objects, arrays,
+// strings, and numbers (everything MetricsToJson emits). No escapes beyond
+// what metric names need.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum Kind { kObject, kArray, kString, kNumber } kind = kNumber;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string str;
+  double number = 0.0;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_NE(it, object.end()) << "missing key: " << key;
+    static const JsonValue kEmpty;
+    return it == object.end() ? kEmpty : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    const bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::kString;
+        return ParseString(&out->str);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return false;
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      out->push_back(text_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->kind = JsonValue::kNumber;
+    size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return false;
+    out->number = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.Value(), 1.5);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.Value(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreLogScale) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(1), 2e-6);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(2), 4e-6);
+  EXPECT_TRUE(std::isinf(
+      Histogram::BucketUpperBound(Histogram::kNumBuckets - 1)));
+  // Every boundary (except the overflow) doubles the previous one.
+  for (size_t i = 1; i + 1 < Histogram::kNumBuckets; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(i),
+                     2.0 * Histogram::BucketUpperBound(i - 1));
+  }
+}
+
+TEST(HistogramTest, BucketIndexMatchesBounds) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1e-6), 0u);
+  for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    const double ub = Histogram::BucketUpperBound(i);
+    // A value inside the bucket and the (inclusive) upper bound land in it.
+    EXPECT_EQ(Histogram::BucketIndex(ub), i) << "upper bound of bucket " << i;
+    EXPECT_EQ(Histogram::BucketIndex(ub * 1.5), i + 1);
+  }
+  EXPECT_EQ(Histogram::BucketIndex(1e30), Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(
+                std::numeric_limits<double>::infinity()),
+            0u);  // non-finite -> bucket 0
+}
+
+TEST(HistogramTest, RecordTracksStats) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  h.Record(0.5);
+  h.Record(1.5);
+  h.Record(1.0);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.Max(), 1.5);
+  EXPECT_DOUBLE_EQ(h.Mean(), 1.0);
+  uint64_t bucketed = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    bucketed += h.BucketCount(i);
+  }
+  EXPECT_EQ(bucketed, 3u);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST(HistogramTest, NegativeAndNonFiniteCountAsZero) {
+  Histogram h;
+  h.Record(-1.0);
+  h.Record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("daakg.test.a");
+  Counter* a2 = registry.GetCounter("daakg.test.a");
+  Counter* b = registry.GetCounter("daakg.test.b");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  a->Increment(3);
+  auto counters = registry.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "daakg.test.a");  // sorted by name
+  EXPECT_EQ(counters[0].second->Value(), 3u);
+  EXPECT_EQ(counters[1].first, "daakg.test.b");
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandlesValid) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  c->Increment(7);
+  g->Set(1.25);
+  h->Record(0.1);
+  registry.Reset();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_DOUBLE_EQ(g->Value(), 0.0);
+  EXPECT_EQ(h->Count(), 0u);
+  // The handles still refer to the registry's live metrics.
+  c->Increment();
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsFromThreadPool) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("concurrent.counter");
+  Histogram* hist = registry.GetHistogram("concurrent.hist");
+  Gauge* gauge = registry.GetGauge("concurrent.gauge");
+  // Use a dedicated pool so the test exercises real contention even if the
+  // global pool is sized for one core.
+  ThreadPool pool(4);
+  constexpr size_t kIters = 20000;
+  pool.ParallelFor(kIters, [&](size_t i) {
+    counter->Increment();
+    gauge->Add(1.0);
+    hist->Record(static_cast<double>(i % 7) * 1e-3);
+  });
+  EXPECT_EQ(counter->Value(), kIters);
+  EXPECT_DOUBLE_EQ(gauge->Value(), static_cast<double>(kIters));
+  EXPECT_EQ(hist->Count(), kIters);
+  uint64_t bucketed = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    bucketed += hist->BucketCount(i);
+  }
+  EXPECT_EQ(bucketed, kIters);
+  EXPECT_DOUBLE_EQ(hist->Max(), 6e-3);
+  EXPECT_DOUBLE_EQ(hist->Min(), 0.0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  ThreadPool pool(4);
+  std::vector<Counter*> seen(64, nullptr);
+  pool.ParallelFor(seen.size(), [&](size_t i) {
+    // Many threads race to register a handful of names.
+    seen[i] = registry.GetCounter("shared." + std::to_string(i % 4));
+    seen[i]->Increment();
+  });
+  EXPECT_EQ(registry.Counters().size(), 4u);
+  uint64_t total = 0;
+  for (const auto& [name, c] : registry.Counters()) total += c->Value();
+  EXPECT_EQ(total, seen.size());
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer
+// ---------------------------------------------------------------------------
+
+TEST(ScopedTimerTest, RecordsOnDestruction) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("span");
+  {
+    ScopedTimer span(h);
+    EXPECT_GE(span.Elapsed(), 0.0);
+  }
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_GE(h->Sum(), 0.0);
+  {
+    ScopedTimer span(&registry, "span");
+    span.Cancel();
+  }
+  EXPECT_EQ(h->Count(), 1u);  // cancelled span records nothing
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+// ---------------------------------------------------------------------------
+
+TEST(JsonExporterTest, EmptyRegistryIsValidJson) {
+  MetricsRegistry registry;
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(MetricsToJson(registry)).Parse(&root));
+  EXPECT_EQ(root.kind, JsonValue::kObject);
+  EXPECT_TRUE(root.at("counters").object.empty());
+  EXPECT_TRUE(root.at("gauges").object.empty());
+  EXPECT_TRUE(root.at("histograms").object.empty());
+}
+
+TEST(JsonExporterTest, RoundTripsValues) {
+  MetricsRegistry registry;
+  registry.GetCounter("daakg.test.queries")->Increment(120);
+  registry.GetGauge("daakg.test.pool_size")->Set(4096.0);
+  Histogram* h = registry.GetHistogram("daakg.test.phase_seconds");
+  h->Record(0.25);
+  h->Record(0.5);
+  h->Record(1e12);  // overflow bucket
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(MetricsToJson(registry)).Parse(&root));
+
+  EXPECT_DOUBLE_EQ(root.at("counters").at("daakg.test.queries").number, 120.0);
+  EXPECT_DOUBLE_EQ(root.at("gauges").at("daakg.test.pool_size").number,
+                   4096.0);
+
+  const JsonValue& hist = root.at("histograms").at("daakg.test.phase_seconds");
+  EXPECT_DOUBLE_EQ(hist.at("count").number, 3.0);
+  EXPECT_DOUBLE_EQ(hist.at("min").number, 0.25);
+  EXPECT_DOUBLE_EQ(hist.at("max").number, 1e12);
+  EXPECT_NEAR(hist.at("sum").number, 0.75 + 1e12, 1.0);
+
+  const JsonValue& buckets = hist.at("buckets");
+  ASSERT_EQ(buckets.kind, JsonValue::kArray);
+  double bucketed = 0.0;
+  bool saw_overflow = false;
+  for (const JsonValue& b : buckets.array) {
+    bucketed += b.at("count").number;
+    const JsonValue& le = b.at("le");
+    if (le.kind == JsonValue::kString) {
+      EXPECT_EQ(le.str, "+Inf");
+      saw_overflow = true;
+    }
+  }
+  EXPECT_DOUBLE_EQ(bucketed, 3.0);
+  EXPECT_TRUE(saw_overflow);
+}
+
+TEST(JsonExporterTest, EscapesNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird\"name\\with\njunk")->Increment();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(MetricsToJson(registry)).Parse(&root));
+  ASSERT_EQ(root.at("counters").object.size(), 1u);
+}
+
+TEST(GlobalMetricsTest, IsSingleton) {
+  EXPECT_EQ(&GlobalMetrics(), &GlobalMetrics());
+  // The library's instrumentation registers under daakg.<layer>.<metric>;
+  // touching one name here must not perturb others.
+  GlobalMetrics().GetCounter("daakg.test.obs_test_marker")->Increment();
+  EXPECT_GE(GlobalMetrics().Counters().size(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace daakg

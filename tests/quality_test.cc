@@ -23,7 +23,7 @@ class QualityTest : public ::testing::Test {
     task_ = new AlignmentTask(
         std::move(MakeBenchmarkTask(BenchmarkDataset::kDW, 0.1, 5)).value());
     DaakgConfig config;
-    config.kge_model = "transe";
+    config.kge_model = KgeModelKind::kTransE;
     aligner_ = new DaakgAligner(task_, config);
     Rng rng(1);
     seed_ = new SeedAlignment(task_->SampleSeed(0.2, &rng));
