@@ -4,12 +4,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "align/joint_model.h"
 #include "embedding/trainer.h"
 #include "infer/alignment_graph.h"
 #include "infer/inference_power.h"
 #include "kg/synthetic.h"
 #include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/topk.h"
 
 namespace daakg {
 namespace {
@@ -49,6 +55,95 @@ void BM_Cosine(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Cosine);
+
+// --------------------------------------------------------------------------
+// Pool-build top-K: seed scalar algorithm vs the blocked streaming kernel.
+// Both compute mutual top-K over the same random signature matrices; the
+// acceptance bar for the kernel is >= 3x over the seed loop at 2k x 2k.
+// --------------------------------------------------------------------------
+
+struct SimBenchInput {
+  Matrix a, b;
+};
+
+SimBenchInput& SimInput(size_t n, size_t dim) {
+  static std::map<std::pair<size_t, size_t>, SimBenchInput*> cache;
+  auto key = std::make_pair(n, dim);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    auto* input = new SimBenchInput{Matrix(n, dim), Matrix(n, dim)};
+    Rng rng(7);
+    input->a.InitGaussian(&rng, 1.0f);
+    input->b.InitGaussian(&rng, 1.0f);
+    it = cache.emplace(key, input).first;
+  }
+  return *it->second;
+}
+
+// The pre-kernel pool build: materialize every row of the full similarity
+// matrix, then TopKIndices per row and per column.
+void BM_PoolTopK_SeedScalar(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const size_t k = 25;
+  SimBenchInput& input = SimInput(n, dim);
+  for (auto _ : state) {
+    Matrix sim(n, n);
+    for (size_t r = 0; r < n; ++r) {
+      const float* ra = input.a.RowData(r);
+      for (size_t c = 0; c < n; ++c) {
+        const float* rb = input.b.RowData(c);
+        float acc = 0.0f;
+        for (size_t i = 0; i < dim; ++i) acc += ra[i] * rb[i];
+        sim(r, c) = acc;
+      }
+    }
+    size_t kept = 0;
+    for (size_t r = 0; r < n; ++r) {
+      std::vector<float> row(sim.RowData(r), sim.RowData(r) + n);
+      kept += TopKIndices(row, k).size();
+    }
+    for (size_t c = 0; c < n; ++c) {
+      std::vector<float> col(n);
+      for (size_t r = 0; r < n; ++r) col[r] = sim(r, c);
+      kept += TopKIndices(col, k).size();
+    }
+    benchmark::DoNotOptimize(kept);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n);
+}
+BENCHMARK(BM_PoolTopK_SeedScalar)
+    ->Args({512, 64})
+    ->Args({2048, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PoolTopK_Blocked(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = static_cast<size_t>(state.range(1));
+  const size_t k = 25;
+  SimBenchInput& input = SimInput(n, dim);
+  for (auto _ : state) {
+    SimTopK topk = BlockedSimTopK(input.a, input.b, k, k);
+    benchmark::DoNotOptimize(topk.row_topk.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n);
+}
+BENCHMARK(BM_PoolTopK_Blocked)
+    ->Args({512, 64})
+    ->Args({2048, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BlockedMatMulNT(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  SimBenchInput& input = SimInput(n, 64);
+  Matrix out;
+  for (auto _ : state) {
+    BlockedMatMulNT(input.a, input.b, &out);
+    benchmark::DoNotOptimize(out.RowData(0));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * n * n);
+}
+BENCHMARK(BM_BlockedMatMulNT)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
 
 AlignmentTask& BenchTask() {
   static AlignmentTask* task = [] {

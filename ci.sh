@@ -1,5 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 verification, twice: a plain release build and an ASan+UBSan build.
+# Tier-1 verification, three times over: a plain release build, an
+# ASan+UBSan build, and a TSan build focused on the concurrent paths
+# (thread pool, blocked kernels, pool generation, selection).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -14,5 +16,13 @@ echo "== sanitizer build (ASan+UBSan) =="
 cmake -B build-asan -S . -DDAAKG_SANITIZE=ON
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== sanitizer build (TSan, concurrency-heavy tests) =="
+cmake -B build-tsan -S . -DDAAKG_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target common_test tensor_test active_test infer_test
+./build-tsan/tests/common_test --gtest_filter='ThreadPoolTest.*'
+./build-tsan/tests/tensor_test --gtest_filter='KernelTest.*:TopKAccumulatorTest.*'
+./build-tsan/tests/active_test --gtest_filter='ActiveTest.GeneratedPoolMatchesBruteForceMutualTopN:ActiveTest.RepeatedSelectionIsDeterministic'
+./build-tsan/tests/infer_test --gtest_filter='InferTest.PowerFromEveryNodeConcurrently'
 
 echo "ci.sh: all green"

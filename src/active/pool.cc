@@ -5,7 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "obs/scoped_timer.h"
-#include "tensor/ops.h"
+#include "tensor/topk.h"
 
 namespace daakg {
 
@@ -109,40 +109,21 @@ std::vector<ElementPair> PoolGenerator::Generate() const {
     sig2.SetRow(e, s);
   });
 
-  // Top-N lists in both directions.
-  std::vector<std::vector<uint32_t>> top1(n1);  // per e1: top-N e2
-  std::vector<std::vector<float>> sim_rows(n1);
-  pool.ParallelFor(n1, [&](size_t r) {
-    std::vector<float> sims(n2);
-    const float* a = sig1.RowData(r);
-    for (size_t c = 0; c < n2; ++c) {
-      const float* b = sig2.RowData(c);
-      float acc = 0.0f;
-      for (size_t i = 0; i < sig_dim; ++i) acc += a[i] * b[i];
-      sims[c] = acc;
-    }
-    std::vector<size_t> top = TopKIndices(sims, n);
-    top1[r].assign(top.begin(), top.end());
-    sim_rows[r] = std::move(sims);
-  });
-
-  // Reverse direction from the same similarity values.
+  // Top-N lists in both directions from one streamed pass over the
+  // similarity matrix: the blocked kernel keeps per-row and per-column
+  // top-N state simultaneously, so neither the n1 x n2 row buffer nor its
+  // transpose is ever materialized.
   const size_t n_rev = std::min(config_.top_n, n1);
+  SimTopK topk = BlockedSimTopK(sig1, sig2, n, n_rev);
   std::vector<std::unordered_set<uint32_t>> top2(n2);
-  {
-    std::vector<std::vector<float>> cols(n2, std::vector<float>(n1));
-    for (size_t r = 0; r < n1; ++r) {
-      for (size_t c = 0; c < n2; ++c) cols[c][r] = sim_rows[r][c];
-    }
-    pool.ParallelFor(n2, [&](size_t c) {
-      std::vector<size_t> top = TopKIndices(cols[c], n_rev);
-      top2[c].insert(top.begin(), top.end());
-    });
+  for (size_t c = 0; c < n2; ++c) {
+    for (const ScoredIndex& e : topk.col_topk[c]) top2[c].insert(e.index);
   }
 
   std::vector<ElementPair> out;
   for (uint32_t e1 = 0; e1 < n1; ++e1) {
-    for (uint32_t e2 : top1[e1]) {
+    for (const ScoredIndex& cand : topk.row_topk[e1]) {
+      const uint32_t e2 = cand.index;
       if (top2[e2].count(e1) > 0) {
         out.push_back(ElementPair{ElementKind::kEntity, e1, e2});
       }

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "obs/scoped_timer.h"
 #include "tensor/ops.h"
+#include "tensor/topk.h"
 
 namespace daakg {
 namespace {
@@ -155,17 +156,8 @@ void JointAlignmentModel::ComputeEntitySimMatrix() {
   normalize_rows(&unit1);
   normalize_rows(&unit2);
 
-  ent_sim_ = Matrix(n1, n2);
-  pool.ParallelFor(n1, [this, &unit1, &unit2, n2, dim](size_t r) {
-    const float* a = unit1.RowData(r);
-    float* out = ent_sim_.RowData(r);
-    for (size_t c = 0; c < n2; ++c) {
-      const float* b = unit2.RowData(c);
-      float acc = 0.0f;
-      for (size_t i = 0; i < dim; ++i) acc += a[i] * b[i];
-      out[c] = acc;
-    }
-  });
+  // Unit rows make the blocked A * B^T exactly the cosine matrix.
+  BlockedMatMulNT(unit1, unit2, &ent_sim_);
 
   // Entity weights (Eq. 6): best similarity in the other KG.
   weight1_.assign(n1, -1.0f);

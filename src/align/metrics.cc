@@ -4,6 +4,8 @@
 #include <tuple>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "tensor/topk.h"
 
 namespace daakg {
 
@@ -16,10 +18,9 @@ RankingMetrics EvaluateRanking(
     DAAKG_CHECK_LT(second, sim.cols());
     const float* row = sim.RowData(first);
     const float target = row[second];
-    size_t rank = 1;
-    for (size_t c = 0; c < sim.cols(); ++c) {
-      if (c != second && row[c] > target) ++rank;
-    }
+    // Entries strictly above the target outrank it; the target's own cell
+    // compares equal, so no index needs excluding.
+    const size_t rank = 1 + CountGreater(row, sim.cols(), target);
     if (rank == 1) m.hits_at_1 += 1.0;
     if (rank <= 10) m.hits_at_10 += 1.0;
     m.mrr += 1.0 / static_cast<double>(rank);
@@ -36,16 +37,34 @@ RankingMetrics EvaluateRanking(
 
 std::vector<std::pair<uint32_t, uint32_t>> GreedyOneToOneMatches(
     const Matrix& sim, float threshold) {
-  // Collect candidate cells above threshold, sort descending, sweep.
+  // Sweep the matrix in row blocks, each shard collecting its rows' cells
+  // above threshold locally; shard buffers concatenate in shard order, so
+  // the combined sequence is the same row-major order a serial scan
+  // produces (and hence the sort and greedy sweep below see identical
+  // input).
+  ThreadPool& pool = GlobalThreadPool();
+  const size_t shards = std::min(sim.rows(), pool.num_threads());
+  std::vector<std::vector<std::tuple<float, uint32_t, uint32_t>>> shard_cells(
+      std::max<size_t>(shards, 1));
+  pool.ParallelForShards(
+      sim.rows(), [&](size_t shard, size_t begin, size_t end) {
+        auto& cells = shard_cells[shard];
+        for (size_t r = begin; r < end; ++r) {
+          const float* row = sim.RowData(r);
+          for (size_t c = 0; c < sim.cols(); ++c) {
+            if (row[c] >= threshold) {
+              cells.emplace_back(row[c], static_cast<uint32_t>(r),
+                                 static_cast<uint32_t>(c));
+            }
+          }
+        }
+      });
+  size_t total = 0;
+  for (const auto& cells : shard_cells) total += cells.size();
   std::vector<std::tuple<float, uint32_t, uint32_t>> cells;
-  for (size_t r = 0; r < sim.rows(); ++r) {
-    const float* row = sim.RowData(r);
-    for (size_t c = 0; c < sim.cols(); ++c) {
-      if (row[c] >= threshold) {
-        cells.emplace_back(row[c], static_cast<uint32_t>(r),
-                           static_cast<uint32_t>(c));
-      }
-    }
+  cells.reserve(total);
+  for (auto& shard : shard_cells) {
+    cells.insert(cells.end(), shard.begin(), shard.end());
   }
   std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
     return std::get<0>(a) > std::get<0>(b);

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -21,7 +22,7 @@ ThreadPool::~ThreadPool() {
     std::unique_lock<std::mutex> lock(mutex_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
@@ -32,34 +33,44 @@ void ThreadPool::Submit(std::function<void()> task) {
     tasks_.push(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  cv_.notify_all();
+}
+
+bool ThreadPool::TryRunOneTask() {
+  std::function<void()> task;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (tasks_.empty()) return false;
+    task = std::move(tasks_.front());
+    tasks_.pop();
+  }
+  task();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    --in_flight_;
+  }
+  cv_.notify_all();
+  return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  for (;;) {
+    if (TryRunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (in_flight_ == 0) return;
+    if (!tasks_.empty()) continue;
+    cv_.wait(lock, [this] { return in_flight_ == 0 || !tasks_.empty(); });
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      cv_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty() && shutting_down_) return;
     }
-    task();
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
-    }
+    TryRunOneTask();
   }
 }
 
@@ -78,17 +89,49 @@ void ThreadPool::ParallelForShards(
     return;
   }
   const size_t chunk = (n + shards - 1) / shards;
-  // The calling thread runs shard 0 itself; workers take the rest. This
-  // keeps small loops cheap and avoids deadlock if ParallelFor is called
-  // from within a pool task.
+
+  // Each call gets its own completion group so the tail wait below tracks
+  // exactly this call's shards: waiting on the global in-flight count would
+  // over-wait on unrelated work (and deadlock when every worker waits).
+  auto group = std::make_shared<Group>();
+  size_t submitted = 0;
   for (size_t s = 1; s < shards; ++s) {
     size_t begin = s * chunk;
     size_t end = std::min(n, begin + chunk);
     if (begin >= end) break;
-    Submit([&shard_fn, s, begin, end] { shard_fn(s, begin, end); });
+    ++submitted;
   }
+  group->remaining = submitted;
+  for (size_t s = 1; s <= submitted; ++s) {
+    size_t begin = s * chunk;
+    size_t end = std::min(n, begin + chunk);
+    // &shard_fn stays valid: this call does not return before the group
+    // completes, and the decrement runs after shard_fn.
+    Submit([this, &shard_fn, group, s, begin, end] {
+      shard_fn(s, begin, end);
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        --group->remaining;
+      }
+      cv_.notify_all();
+    });
+  }
+  // The calling thread runs shard 0 itself, then help-drains queued tasks
+  // (this call's shards or anyone else's) until its own group completes.
   shard_fn(0, 0, std::min(chunk, n));
-  Wait();
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (group->remaining == 0) return;
+      if (tasks_.empty()) {
+        cv_.wait(lock, [this, &group] {
+          return group->remaining == 0 || !tasks_.empty();
+        });
+        continue;
+      }
+    }
+    TryRunOneTask();
+  }
 }
 
 ThreadPool& GlobalThreadPool() {
@@ -97,3 +140,4 @@ ThreadPool& GlobalThreadPool() {
 }
 
 }  // namespace daakg
+

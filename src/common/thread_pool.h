@@ -1,10 +1,10 @@
 #ifndef DAAKG_COMMON_THREAD_POOL_H_
 #define DAAKG_COMMON_THREAD_POOL_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -16,7 +16,12 @@ namespace daakg {
 // std::function<void()>; Wait() blocks until the queue drains and all
 // in-flight tasks finish.
 //
-// Thread-safe for concurrent Submit from multiple producers.
+// Thread-safe for concurrent Submit from multiple producers. ParallelFor /
+// ParallelForShards may be nested: each call tracks its own shards through a
+// per-call completion group, and a thread that waits (Wait() or the tail of
+// a ParallelForShards) help-drains queued tasks instead of parking, so
+// waiting from inside a pool task can neither deadlock nor block on
+// unrelated work submitted by other callers.
 class ThreadPool {
  public:
   // Creates `num_threads` workers (>= 1). Pass 0 to use the hardware
@@ -32,7 +37,8 @@ class ThreadPool {
   // Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  // Blocks until every submitted task has completed.
+  // Blocks until every submitted task has completed, executing queued tasks
+  // on the calling thread while it waits.
   void Wait();
 
   // Runs fn(i) for i in [0, n), partitioned into contiguous shards across
@@ -47,13 +53,28 @@ class ThreadPool {
       const std::function<void(size_t, size_t, size_t)>& shard_fn);
 
  private:
+  // Completion state of one ParallelForShards call: the number of its
+  // shards still queued or running. Guarded by mutex_; shared_ptr so a
+  // shard finishing after the call returns (impossible today, but cheap to
+  // make safe) cannot dangle.
+  struct Group {
+    size_t remaining = 0;
+  };
+
   void WorkerLoop();
+  // Runs one queued task (any task, not necessarily the caller's) with
+  // in-flight bookkeeping. Returns false if the queue was empty.
+  bool TryRunOneTask();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
+  // Single condition variable for every wake-up source: task submission,
+  // task completion, group completion, and shutdown. Waiters re-check their
+  // own predicate, so sharing one cv trades a few spurious wake-ups for the
+  // impossibility of a lost wake-up across the three waiter kinds (workers,
+  // Wait(), group waits).
+  std::condition_variable cv_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <unordered_set>
 
@@ -25,17 +26,53 @@ InferenceEngine::InferenceEngine(const AlignmentGraph* graph,
       metrics.GetHistogram("daakg.infer.precompute_edge_costs_seconds");
 }
 
-const InferenceEngine::EdgeBound& InferenceEngine::BoundFor(
-    int side, EntityId head, RelationId rel, EntityId tail) const {
+float AlternativeEntitySlack(size_t parallel_edges1, size_t parallel_edges2) {
+  // Signed arithmetic, clamped per side: a count of zero (the resolved
+  // relation has no parallel edge at this head) must contribute no slack,
+  // not wrap a size_t to ~1.8e19 and blow up the edge cost.
+  const int64_t alt1 =
+      std::max<int64_t>(0, static_cast<int64_t>(parallel_edges1) - 1);
+  const int64_t alt2 =
+      std::max<int64_t>(0, static_cast<int64_t>(parallel_edges2) - 1);
+  return static_cast<float>(alt1 + alt2);
+}
+
+void InferenceEngine::ResolveEdgeRelations(const ElementPair& src,
+                                           const ElementPair& dst,
+                                           const ElementPair& rel,
+                                           RelationId* r1,
+                                           RelationId* r2) const {
+  // Resolve the actual (possibly reverse) relations behind the labeled pair.
+  const KnowledgeGraph& kg1 = graph_->task().kg1;
+  const KnowledgeGraph& kg2 = graph_->task().kg2;
+  *r1 = rel.first;
+  if (!kg1.HasTriplet(src.first, *r1, dst.first)) *r1 = kg1.ReverseOf(*r1);
+  *r2 = rel.second;
+  if (!kg2.HasTriplet(src.second, *r2, dst.second)) *r2 = kg2.ReverseOf(*r2);
+}
+
+void InferenceEngine::EnsureBound(int side, EntityId head, RelationId rel,
+                                  EntityId tail) {
   auto& cache = side == 1 ? bounds1_ : bounds2_;
   const Triplet key{head, rel, tail};
-  auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
-  const KgeModel& model = side == 1 ? *model_->kg1_model() : *model_->kg2_model();
+  if (cache.find(key) != cache.end()) return;
+  const KgeModel& model =
+      side == 1 ? *model_->kg1_model() : *model_->kg2_model();
   EdgeBound bound;
   model.EstimateEdgeBound(head, rel, tail, config_.bound_samples, &rng_,
                           &bound.r_tilde, &bound.d);
-  return cache.emplace(key, std::move(bound)).first->second;
+  cache.emplace(key, std::move(bound));
+}
+
+const InferenceEngine::EdgeBound& InferenceEngine::BoundFor(
+    int side, EntityId head, RelationId rel, EntityId tail) const {
+  const auto& cache = side == 1 ? bounds1_ : bounds2_;
+  auto it = cache.find(Triplet{head, rel, tail});
+  // Every reachable bound is populated by PrecomputeEdgeCosts; a miss here
+  // would be a concurrent cache mutation under ParallelFor, which is
+  // exactly the race this lookup-only design rules out.
+  DAAKG_CHECK(it != cache.end());
+  return it->second;
 }
 
 float InferenceEngine::ComputeEdgeCost(uint32_t node,
@@ -47,11 +84,8 @@ float InferenceEngine::ComputeEdgeCost(uint32_t node,
   const KnowledgeGraph& kg1 = graph_->task().kg1;
   const KnowledgeGraph& kg2 = graph_->task().kg2;
 
-  // Resolve the actual (possibly reverse) relations behind the labeled pair.
-  RelationId r1 = rel.first;
-  if (!kg1.HasTriplet(src.first, r1, dst.first)) r1 = kg1.ReverseOf(r1);
-  RelationId r2 = rel.second;
-  if (!kg2.HasTriplet(src.second, r2, dst.second)) r2 = kg2.ReverseOf(r2);
+  RelationId r1, r2;
+  ResolveEdgeRelations(src, dst, rel, &r1, &r2);
 
   const EdgeBound& b1 = BoundFor(1, src.first, r1, dst.first);
   const EdgeBound& b2 = BoundFor(2, src.second, r2, dst.second);
@@ -80,26 +114,53 @@ float InferenceEngine::ComputeEdgeCost(uint32_t node,
     return n;
   };
   const float alternatives =
-      static_cast<float>(parallel_edges(kg1, src.first, r1) - 1 +
-                         parallel_edges(kg2, src.second, r2) - 1);
+      AlternativeEntitySlack(parallel_edges(kg1, src.first, r1),
+                             parallel_edges(kg2, src.second, r2));
   return rel_diff + config_.alt_penalty * alternatives;
 }
 
 void InferenceEngine::PrecomputeEdgeCosts() {
   obs::ScopedTimer span(precompute_timing_);
   const size_t n = graph_->num_nodes();
-  costs_.assign(n, {});
-  // Single pass; the per-side bound caches make repeated KG edges cheap.
-  // (Bound estimation mutates the caches, so this loop stays sequential;
-  // it is the dominant cost only for the sampled-bound models.)
+
+  // Phase 1: populate the bound caches for every triplet any later cost or
+  // power computation resolves to. Graph edges and the per-relation-pair
+  // edge lists resolve to the same triplets, but both are walked so the
+  // "read-only after precompute" invariant is explicit rather than
+  // incidental. Sequential: EstimateEdgeBound consumes rng_.
+  auto ensure_edge_bounds = [this](const ElementPair& src,
+                                   const ElementPair& dst,
+                                   const ElementPair& rel) {
+    RelationId r1, r2;
+    ResolveEdgeRelations(src, dst, rel, &r1, &r2);
+    EnsureBound(1, src.first, r1, dst.first);
+    EnsureBound(2, src.second, r2, dst.second);
+  };
   for (uint32_t node = 0; node < n; ++node) {
-    const auto& out = graph_->Out(node);
+    for (const AlignmentGraph::Edge& edge : graph_->Out(node)) {
+      if (edge.rel_pair == AlignmentGraph::kTypeLabel) continue;
+      ensure_edge_bounds(graph_->pool()[node], graph_->pool()[edge.target],
+                         graph_->pool()[edge.rel_pair]);
+    }
+  }
+  for (uint32_t node = 0; node < n; ++node) {
+    if (graph_->pool()[node].kind != ElementKind::kRelation) continue;
+    for (const auto& [from, to] : graph_->EdgesOfRelationPair(node)) {
+      ensure_edge_bounds(graph_->pool()[from], graph_->pool()[to],
+                         graph_->pool()[node]);
+    }
+  }
+
+  // Phase 2: per-edge costs against the now read-only caches (parallel).
+  costs_.assign(n, {});
+  GlobalThreadPool().ParallelFor(n, [this](size_t node) {
+    const auto& out = graph_->Out(static_cast<uint32_t>(node));
     auto& row = costs_[node];
     row.resize(out.size());
     for (size_t k = 0; k < out.size(); ++k) {
-      row[k] = ComputeEdgeCost(node, out[k]);
+      row[k] = ComputeEdgeCost(static_cast<uint32_t>(node), out[k]);
     }
-  }
+  });
 
   cost_scale_ = 1.0f;
   if (config_.auto_calibrate_costs) {
@@ -211,13 +272,8 @@ PowerRow InferenceEngine::PowerFrom(uint32_t src) const {
       // scalar, so recompute the d-only cost directly.
       const ElementPair& sp = graph_->pool()[from];
       const ElementPair& tp = graph_->pool()[to];
-      const ElementPair& rel = src_pair;
-      const KnowledgeGraph& kg1 = graph_->task().kg1;
-      const KnowledgeGraph& kg2 = graph_->task().kg2;
-      RelationId r1 = rel.first;
-      if (!kg1.HasTriplet(sp.first, r1, tp.first)) r1 = kg1.ReverseOf(r1);
-      RelationId r2 = rel.second;
-      if (!kg2.HasTriplet(sp.second, r2, tp.second)) r2 = kg2.ReverseOf(r2);
+      RelationId r1, r2;
+      ResolveEdgeRelations(sp, tp, src_pair, &r1, &r2);
       const EdgeBound& b1 = BoundFor(1, sp.first, r1, tp.first);
       const EdgeBound& b2 = BoundFor(2, sp.second, r2, tp.second);
       // Same units as the path costs: the labeled relation match zeroes

@@ -39,6 +39,12 @@ struct InferenceConfig {
 // A sparse row of inference powers: (pool node index, I(q'|q)).
 using PowerRow = std::vector<std::pair<uint32_t, float>>;
 
+// The alternative-entity slack term of Eq. (15): each parallel edge beyond
+// the first adds one unit of slack. Counts are clamped per side, so a
+// resolved (possibly reverse) relation with zero parallel edges contributes
+// nothing instead of wrapping the unsigned subtraction to ~1.8e19.
+float AlternativeEntitySlack(size_t parallel_edges1, size_t parallel_edges2);
+
 // Computes the structure-based and gradient-based inference powers of
 // Sect. 5.2 on top of an alignment graph and a trained joint model.
 //
@@ -56,7 +62,10 @@ class InferenceEngine {
   const AlignmentGraph& graph() const { return *graph_; }
   const InferenceConfig& config() const { return config_; }
 
-  // Precomputes every relational edge's cost (parallelized). Must be
+  // Precomputes every relational edge's cost. First populates the per-side
+  // edge-bound caches for every triplet any cost or power computation can
+  // reach (sequentially — bound estimation consumes the engine's RNG), then
+  // computes costs in parallel against the now read-only caches. Must be
   // called before any power query.
   void PrecomputeEdgeCosts();
 
@@ -102,14 +111,25 @@ class InferenceEngine {
     Vector r_tilde;
     float d;
   };
-  const EdgeBound& BoundFor(int side, EntityId head, RelationId base_rel,
+  // Resolves the actual (possibly reverse) relations behind the labeled
+  // relation pair `rel` of an edge src -> dst.
+  void ResolveEdgeRelations(const ElementPair& src, const ElementPair& dst,
+                            const ElementPair& rel, RelationId* r1,
+                            RelationId* r2) const;
+  // Estimates and caches the bound for one KG edge if absent. Only called
+  // from PrecomputeEdgeCosts (single-threaded): estimation consumes rng_.
+  void EnsureBound(int side, EntityId head, RelationId rel, EntityId tail);
+  // Read-only cache lookup; DAAKG_CHECK-fails on a miss. PowerFrom and
+  // ComputeEdgeCost run under ParallelFor, so this must never mutate —
+  // PrecomputeEdgeCosts pre-populates every reachable key.
+  const EdgeBound& BoundFor(int side, EntityId head, RelationId rel,
                             EntityId tail) const;
   float ComputeEdgeCost(uint32_t node, const AlignmentGraph::Edge& edge) const;
 
   const AlignmentGraph* graph_;
   const JointAlignmentModel* model_;
   InferenceConfig config_;
-  mutable Rng rng_;
+  Rng rng_;
 
   // Metric handles hoisted at construction: PowerFrom() runs inside
   // ParallelFor, so the registry's registration mutex must stay off the
@@ -123,8 +143,9 @@ class InferenceEngine {
   float cost_scale_ = 1.0f;  // see auto_calibrate_costs
   bool costs_ready_ = false;
 
-  mutable std::unordered_map<Triplet, EdgeBound, TripletHash> bounds1_;
-  mutable std::unordered_map<Triplet, EdgeBound, TripletHash> bounds2_;
+  // Written only by PrecomputeEdgeCosts; read-only afterwards (BoundFor).
+  std::unordered_map<Triplet, EdgeBound, TripletHash> bounds1_;
+  std::unordered_map<Triplet, EdgeBound, TripletHash> bounds2_;
 };
 
 }  // namespace daakg

@@ -1,0 +1,108 @@
+#ifndef DAAKG_TENSOR_TOPK_H_
+#define DAAKG_TENSOR_TOPK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace daakg {
+
+// Blocked similarity / streaming top-K kernels for the candidate-pool and
+// metrics hot paths. The active-learning loop re-ranks all |E1| x |E2|
+// entity pairs every round; these kernels stream the similarity matrix
+// A * B^T through cache-sized tiles instead of materializing it, keeping
+// only bounded top-K state per row and per column (see DESIGN.md,
+// "Blocked similarity kernels").
+
+// One (index, score) entry of a top-K list.
+struct ScoredIndex {
+  uint32_t index;
+  float score;
+
+  bool operator==(const ScoredIndex& other) const {
+    return index == other.index && score == other.score;
+  }
+};
+
+// Bounded streaming top-K accumulator: keeps the k largest scores seen so
+// far in a min-heap whose root is the weakest kept entry, so a Push that
+// does not qualify is O(1) and a qualifying one is O(log k). Ordering
+// matches TopKIndices: descending score, ties broken toward the lower
+// index.
+class TopKAccumulator {
+ public:
+  explicit TopKAccumulator(size_t k);
+
+  size_t k() const { return k_; }
+  size_t size() const { return heap_.size(); }
+
+  // Offers (index, score); kept iff it beats the current weakest entry or
+  // fewer than k entries are held. With k == 0 every Push is a no-op.
+  void Push(uint32_t index, float score);
+
+  // Folds every kept entry of `other` into this accumulator.
+  void Merge(const TopKAccumulator& other);
+
+  // The weakest kept score, or -inf while fewer than k entries are held
+  // (i.e. the qualification threshold for Push).
+  float Threshold() const;
+
+  // Kept entries in descending score order (ties by ascending index).
+  std::vector<ScoredIndex> SortedEntries() const;
+  // Kept indexes in the same order.
+  std::vector<uint32_t> SortedIndices() const;
+
+ private:
+  size_t k_;
+  std::vector<ScoredIndex> heap_;
+};
+
+// Per-row and per-column top-K lists of a similarity matrix, each sorted in
+// descending score order.
+struct SimTopK {
+  std::vector<std::vector<ScoredIndex>> row_topk;  // size a.rows()
+  std::vector<std::vector<ScoredIndex>> col_topk;  // size b.rows()
+};
+
+// Tile shape of the blocked kernels. The defaults keep one column tile of
+// B (col_block * dim floats) plus one row tile of A resident in L2 while
+// each B row is reused row_block times.
+struct BlockedKernelOptions {
+  size_t row_block = 64;
+  size_t col_block = 256;
+  // Shard rows across the global thread pool (per-shard column state is
+  // merged after the pass). Disable for single-threaded determinism tests.
+  bool parallel = true;
+};
+
+// Streams sim = a * b^T (rows of `a` against rows of `b`; equal cols())
+// through cache-sized tiles, maintaining the top-`row_k` columns of every
+// row and the top-`col_k` rows of every column in one pass. The full
+// similarity matrix is never materialized: peak additional memory is
+// O(row_block * col_block) per shard for the tile walk plus
+// O(row_k * a.rows() + col_k * b.rows()) for the results. Either k may be
+// 0 to skip that direction.
+SimTopK BlockedSimTopK(const Matrix& a, const Matrix& b, size_t row_k,
+                       size_t col_k,
+                       const BlockedKernelOptions& options = {});
+
+// Blocked dense product out = a * b^T (out is resized to
+// a.rows() x b.rows()). Same tiling and inner loop as BlockedSimTopK, for
+// callers that do need the full matrix (e.g. the entity-similarity cache).
+void BlockedMatMulNT(const Matrix& a, const Matrix& b, Matrix* out,
+                     const BlockedKernelOptions& options = {});
+
+// Number of entries strictly greater than `threshold` in values[0, n) —
+// the rank kernel of EvaluateRanking (4-way unrolled scan).
+size_t CountGreater(const float* values, size_t n, float threshold);
+
+// Dot product with four independent accumulators (FMA/ILP friendly). Note
+// the summation order differs from a naive sequential loop, so results can
+// differ from it in the last ulp.
+float DotUnrolled(const float* a, const float* b, size_t n);
+
+}  // namespace daakg
+
+#endif  // DAAKG_TENSOR_TOPK_H_

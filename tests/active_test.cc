@@ -9,6 +9,8 @@
 #include "active/selection.h"
 #include "active/strategies.h"
 #include "embedding/trainer.h"
+#include "tensor/ops.h"
+#include "tensor/topk.h"
 #include "tests/test_util.h"
 
 namespace daakg {
@@ -127,6 +129,60 @@ TEST_F(ActiveTest, RecallGrowsWithN) {
   EXPECT_LE(rl, 1.0);
 }
 
+TEST_F(ActiveTest, GeneratedPoolMatchesBruteForceMutualTopN) {
+  // Parity with the pre-blocked-kernel algorithm: materialize the full
+  // signature-similarity matrix, take TopKIndices per row and per column,
+  // keep mutual pairs. The reference scores use DotUnrolled so both sides
+  // share the same summation order — near-ties at the top-N boundary would
+  // otherwise flip on last-ulp differences (DotUnrolled itself is checked
+  // against a naive dot in tensor_test). Everything downstream of the dot —
+  // tiling, streaming top-K, tie-breaks, mutual intersection — must agree
+  // exactly with the seed algorithm.
+  PoolConfig pcfg;
+  pcfg.top_n = 10;  // same as the fixture's pool_
+  PoolGenerator gen(&task_, joint_.get(), pcfg);
+  const size_t n1 = task_.kg1.num_entities();
+  const size_t n2 = task_.kg2.num_entities();
+  const size_t dim = 2 * model1_->dim();
+  Matrix sig1(n1, dim), sig2(n2, dim);
+  for (size_t e = 0; e < n1; ++e) {
+    Vector s = gen.Signature(1, static_cast<EntityId>(e));
+    s.Normalize();
+    sig1.SetRow(e, s);
+  }
+  for (size_t e = 0; e < n2; ++e) {
+    Vector s = gen.Signature(2, static_cast<EntityId>(e));
+    s.Normalize();
+    sig2.SetRow(e, s);
+  }
+  Matrix sim(n1, n2);
+  for (size_t r = 0; r < n1; ++r) {
+    for (size_t c = 0; c < n2; ++c) {
+      sim(r, c) = DotUnrolled(sig1.RowData(r), sig2.RowData(c), dim);
+    }
+  }
+  std::vector<std::set<size_t>> col_top(n2);
+  for (size_t c = 0; c < n2; ++c) {
+    std::vector<float> col(n1);
+    for (size_t r = 0; r < n1; ++r) col[r] = sim(r, c);
+    for (size_t r : TopKIndices(col, pcfg.top_n)) col_top[c].insert(r);
+  }
+  std::set<std::pair<uint32_t, uint32_t>> expected;
+  for (size_t r = 0; r < n1; ++r) {
+    std::vector<float> row(sim.RowData(r), sim.RowData(r) + n2);
+    for (size_t c : TopKIndices(row, pcfg.top_n)) {
+      if (col_top[c].count(r) > 0) {
+        expected.emplace(static_cast<uint32_t>(r), static_cast<uint32_t>(c));
+      }
+    }
+  }
+  std::set<std::pair<uint32_t, uint32_t>> actual;
+  for (const auto& p : pool_) {
+    if (p.kind == ElementKind::kEntity) actual.emplace(p.first, p.second);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
 // ---------------------------------------------------------------------------
 // Selection algorithms
 // ---------------------------------------------------------------------------
@@ -204,6 +260,22 @@ TEST_F(ActiveTest, PartitionSelectionKeepsMostInferencePower) {
     // (fig7_partitioning) is the meaningful check and retains ~97% of the
     // exact objective.
     EXPECT_GE(exact_part, 0.1 * exact_greedy);
+  }
+}
+
+// Concurrency stress: both selectors evaluate PowerFrom under ParallelFor
+// against the read-only bound caches. Repeated runs must agree exactly —
+// under TSan this doubles as the data-race regression test for the old
+// lazily-populated BoundFor.
+TEST_F(ActiveTest, RepeatedSelectionIsDeterministic) {
+  SelectionConfig cfg;
+  cfg.batch_size = 12;
+  cfg.rho = 0.9;
+  const SelectionResult greedy0 = GreedySelect(ctx_, cfg);
+  const SelectionResult part0 = PartitionSelect(ctx_, cfg);
+  for (int iter = 0; iter < 5; ++iter) {
+    EXPECT_EQ(GreedySelect(ctx_, cfg).selected, greedy0.selected) << iter;
+    EXPECT_EQ(PartitionSelect(ctx_, cfg).selected, part0.selected) << iter;
   }
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <tuple>
 
 #include "align/joint_model.h"
 #include "align/losses.h"
@@ -172,6 +173,81 @@ TEST(MetricsTest, PerfectPrf) {
   std::vector<std::pair<uint32_t, uint32_t>> gold = {{0, 0}, {1, 1}, {2, 2}};
   PrfMetrics m = EvaluateGreedyMatching(sim, gold, 0.5f);
   EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+// Seed-algorithm copy: ranks via a per-query serial scan (what
+// EvaluateRanking did before CountGreater).
+RankingMetrics RankingReference(
+    const Matrix& sim,
+    const std::vector<std::pair<uint32_t, uint32_t>>& test_pairs) {
+  RankingMetrics m;
+  for (const auto& [first, second] : test_pairs) {
+    const float* row = sim.RowData(first);
+    size_t rank = 1;
+    for (size_t c = 0; c < sim.cols(); ++c) {
+      if (c != second && row[c] > row[second]) ++rank;
+    }
+    if (rank == 1) m.hits_at_1 += 1.0;
+    if (rank <= 10) m.hits_at_10 += 1.0;
+    m.mrr += 1.0 / static_cast<double>(rank);
+    ++m.num_queries;
+  }
+  if (m.num_queries > 0) {
+    const double n = static_cast<double>(m.num_queries);
+    m.hits_at_1 /= n;
+    m.hits_at_10 /= n;
+    m.mrr /= n;
+  }
+  return m;
+}
+
+TEST(MetricsTest, EvaluateRankingBitIdenticalToSerialReference) {
+  Rng rng(71);
+  Matrix sim(37, 53);
+  sim.InitGaussian(&rng, 1.0f);
+  // Inject ties so the tie-handling paths are exercised too.
+  sim(5, 10) = sim(5, 20);
+  sim(9, 0) = sim(9, 52);
+  std::vector<std::pair<uint32_t, uint32_t>> test;
+  for (uint32_t i = 0; i < 37; ++i) test.emplace_back(i, (i * 7) % 53);
+  const RankingMetrics got = EvaluateRanking(sim, test);
+  const RankingMetrics want = RankingReference(sim, test);
+  EXPECT_EQ(got.num_queries, want.num_queries);
+  EXPECT_EQ(got.hits_at_1, want.hits_at_1);
+  EXPECT_EQ(got.hits_at_10, want.hits_at_10);
+  EXPECT_EQ(got.mrr, want.mrr);
+}
+
+TEST(MetricsTest, GreedyMatchesBitIdenticalToSerialReference) {
+  Rng rng(72);
+  Matrix sim(61, 47);
+  sim.InitGaussian(&rng, 1.0f);
+  sim(3, 3) = sim(17, 5);  // tied scores: sort stability must not matter
+  const float threshold = 0.4f;
+  // Seed-algorithm copy: serial row-major collection, identical sort and
+  // greedy sweep.
+  std::vector<std::tuple<float, uint32_t, uint32_t>> cells;
+  for (size_t r = 0; r < sim.rows(); ++r) {
+    for (size_t c = 0; c < sim.cols(); ++c) {
+      if (sim(r, c) >= threshold) {
+        cells.emplace_back(sim(r, c), static_cast<uint32_t>(r),
+                           static_cast<uint32_t>(c));
+      }
+    }
+  }
+  std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
+    return std::get<0>(a) > std::get<0>(b);
+  });
+  std::vector<bool> used_row(sim.rows(), false), used_col(sim.cols(), false);
+  std::vector<std::pair<uint32_t, uint32_t>> want;
+  for (const auto& [score, r, c] : cells) {
+    (void)score;
+    if (used_row[r] || used_col[c]) continue;
+    used_row[r] = true;
+    used_col[c] = true;
+    want.emplace_back(r, c);
+  }
+  EXPECT_EQ(GreedyOneToOneMatches(sim, threshold), want);
 }
 
 // ---------------------------------------------------------------------------

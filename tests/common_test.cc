@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <numeric>
 #include <set>
+#include <thread>
 
 #include "common/file_util.h"
 #include "common/rng.h"
@@ -338,6 +340,77 @@ TEST(ThreadPoolTest, ParallelForShardsPartitionIsContiguous) {
 TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
   ThreadPool pool(2);
   pool.Wait();  // must not hang
+}
+
+// Regression: before the per-call completion group, a ParallelFor issued
+// from inside a pool task waited on the global in-flight counter, which
+// never reached zero while the outer tasks themselves were still running —
+// a deadlock whenever nesting exceeded the worker count.
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  const size_t outer = 2 * pool.num_threads() + 1;
+  const size_t inner = 50;
+  std::atomic<size_t> total{0};
+  pool.ParallelFor(outer, [&](size_t) {
+    pool.ParallelFor(inner, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), outer * inner);
+}
+
+TEST(ThreadPoolTest, NestedParallelForShardsCoverAllIndexes) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(40 * 17);
+  pool.ParallelForShards(40, [&](size_t, size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelForShards(17, [&](size_t, size_t b2, size_t e2) {
+        for (size_t j = b2; j < e2; ++j) hits[i * 17 + j].fetch_add(1);
+      });
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+// A ParallelFor must return as soon as its own shards finish, even while
+// unrelated submitted work is still queued (no over-wait on the global
+// counter), and Wait() must still drain everything.
+TEST(ThreadPoolTest, ParallelForReturnsWhileUnrelatedWorkPending) {
+  ThreadPool pool(2);
+  std::atomic<int> slow_done{0};
+  std::atomic<int> fast_done{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      slow_done.fetch_add(1);
+    });
+  }
+  pool.ParallelFor(8, [&](size_t) { fast_done.fetch_add(1); });
+  // The ParallelFor's own work is complete once it returns, regardless of
+  // the slow background tasks.
+  EXPECT_EQ(fast_done.load(), 8);
+  pool.Wait();
+  EXPECT_EQ(slow_done.load(), 4);
+}
+
+TEST(ThreadPoolTest, SubmitFromTaskThenWaitDrains) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      counter.fetch_add(1);
+      pool.Submit([&] { counter.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 16);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsNestedWorkInline) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(5, [&](size_t) {
+    pool.ParallelFor(5, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 25);
 }
 
 }  // namespace

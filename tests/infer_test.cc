@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "embedding/trainer.h"
 #include "infer/alignment_graph.h"
 #include "infer/inference_power.h"
@@ -323,6 +324,81 @@ TEST_F(InferTest, HigherPowerFloorPrunesMore) {
   e2.PrecomputeEdgeCosts();
   uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 0, 0});
   EXPECT_GE(e1.PowerFrom(src).size(), e2.PowerFrom(src).size());
+}
+
+// Regression: the alternatives term used to be computed as
+// (count1 - 1) + (count2 - 1) in size_t, so a zero count wrapped to ~1.8e19
+// and poisoned the edge cost. Each side must clamp at zero independently.
+TEST(AlternativeEntitySlackTest, ClampsEachSideAtZero) {
+  EXPECT_FLOAT_EQ(AlternativeEntitySlack(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(AlternativeEntitySlack(1, 1), 0.0f);
+  EXPECT_FLOAT_EQ(AlternativeEntitySlack(0, 3), 2.0f);
+  EXPECT_FLOAT_EQ(AlternativeEntitySlack(3, 0), 2.0f);
+  EXPECT_FLOAT_EQ(AlternativeEntitySlack(4, 2), 4.0f);
+  EXPECT_FLOAT_EQ(AlternativeEntitySlack(0, 1), 0.0f);
+}
+
+TEST_F(InferTest, SlackFromGenuineZeroParallelEdgeCount) {
+  // In the mirror task, city c0 (entity 3) is only ever the *tail* of
+  // livesIn; its outgoing neighbor list holds the reverse relation, so the
+  // count of base livesIn at head c0 is genuinely zero.
+  const RelationId lives_in = 0;
+  size_t count = 0;
+  for (const auto& nb : task_.kg1.Neighbors(3)) {
+    count += (nb.relation == lives_in);
+  }
+  ASSERT_EQ(count, 0u);
+  EXPECT_FLOAT_EQ(AlternativeEntitySlack(count, 1), 0.0f);
+  // The reverse relation, by contrast, is present.
+  size_t rev_count = 0;
+  for (const auto& nb : task_.kg1.Neighbors(3)) {
+    rev_count += (nb.relation == task_.kg1.ReverseOf(lives_in));
+  }
+  EXPECT_GE(rev_count, 1u);
+}
+
+TEST_F(InferTest, ReverseResolvedEdgeCostsStayModest) {
+  // Edges out of (c0, c0) resolve their label through the reverse relation;
+  // an unsigned wrap in the alternatives term would blow these costs up to
+  // ~1.8e19 * alt_penalty.
+  InferenceEngine engine(graph_.get(), joint_.get(), EngineConfig());
+  engine.PrecomputeEdgeCosts();
+  uint32_t src = graph_->IndexOf(ElementPair{ElementKind::kEntity, 3, 3});
+  ASSERT_NE(src, kInvalidId);
+  const auto& out = graph_->Out(src);
+  size_t relational = 0;
+  for (size_t k = 0; k < out.size(); ++k) {
+    if (out[k].rel_pair == AlignmentGraph::kTypeLabel) continue;
+    ++relational;
+    const float c = engine.EdgeCost(src, k);
+    EXPECT_TRUE(std::isfinite(c));
+    EXPECT_LT(c, 1e4f);
+  }
+  EXPECT_GT(relational, 0u);
+}
+
+// Regression for the BoundFor data race: PowerFrom runs under ParallelFor
+// in selection, so the bound caches must be fully populated by
+// PrecomputeEdgeCosts and never written afterwards (BoundFor CHECK-fails on
+// a miss). Querying every node from many threads at once must succeed.
+TEST_F(InferTest, PowerFromEveryNodeConcurrently) {
+  InferenceEngine engine(graph_.get(), joint_.get(), EngineConfig());
+  engine.PrecomputeEdgeCosts();
+  const size_t n = graph_->num_nodes();
+  std::vector<size_t> entry_counts(n);
+  GlobalThreadPool().ParallelFor(n, [&](size_t q) {
+    entry_counts[q] = engine.PowerFrom(static_cast<uint32_t>(q)).size();
+  });
+  // Sanity: at least one node produces powers, and repeated concurrent
+  // queries are deterministic.
+  size_t total = 0;
+  for (size_t c : entry_counts) total += c;
+  EXPECT_GT(total, 0u);
+  std::vector<size_t> second(n);
+  GlobalThreadPool().ParallelFor(n, [&](size_t q) {
+    second[q] = engine.PowerFrom(static_cast<uint32_t>(q)).size();
+  });
+  EXPECT_EQ(entry_counts, second);
 }
 
 }  // namespace

@@ -2,12 +2,14 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 #include "common/rng.h"
 #include "embedding/gradcheck.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
 #include "tensor/serialize.h"
+#include "tensor/topk.h"
 #include "tensor/vector.h"
 
 namespace daakg {
@@ -306,6 +308,207 @@ TEST(SerializeTest, EmptyMatrixRoundTrip) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->rows(), 0u);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Blocked similarity / top-K kernels
+// ---------------------------------------------------------------------------
+
+TEST(TopKAccumulatorTest, KeepsKLargestInOrder) {
+  TopKAccumulator acc(3);
+  const float scores[] = {0.1f, 0.9f, 0.4f, 0.7f, 0.2f, 0.8f};
+  for (uint32_t i = 0; i < 6; ++i) acc.Push(i, scores[i]);
+  EXPECT_EQ(acc.SortedIndices(), (std::vector<uint32_t>{1, 5, 3}));
+}
+
+TEST(TopKAccumulatorTest, TiesBreakTowardLowerIndex) {
+  TopKAccumulator acc(2);
+  acc.Push(4, 0.5f);
+  acc.Push(1, 0.5f);
+  acc.Push(3, 0.5f);
+  acc.Push(2, 0.5f);
+  // Matches TopKIndices: equal scores keep the lowest indexes first.
+  EXPECT_EQ(acc.SortedIndices(), (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(TopKAccumulatorTest, MatchesTopKIndicesOnRandomInput) {
+  Rng rng(11);
+  std::vector<float> scores(300);
+  for (auto& s : scores) s = static_cast<float>(rng.NextDouble() * 2.0 - 1.0);
+  // A few duplicates to exercise tie handling.
+  scores[17] = scores[203];
+  scores[50] = scores[99];
+  for (size_t k : {1u, 7u, 25u, 300u, 500u}) {
+    TopKAccumulator acc(k);
+    for (uint32_t i = 0; i < scores.size(); ++i) acc.Push(i, scores[i]);
+    std::vector<size_t> expected = TopKIndices(scores, k);
+    std::vector<uint32_t> got = acc.SortedIndices();
+    ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(TopKAccumulatorTest, ZeroKIsNoop) {
+  TopKAccumulator acc(0);
+  acc.Push(0, 1.0f);
+  EXPECT_EQ(acc.size(), 0u);
+  EXPECT_TRUE(acc.SortedIndices().empty());
+}
+
+TEST(TopKAccumulatorTest, MergeEqualsSingleStream) {
+  Rng rng(12);
+  std::vector<float> scores(200);
+  for (auto& s : scores) s = static_cast<float>(rng.NextDouble());
+  TopKAccumulator whole(9);
+  TopKAccumulator left(9), right(9);
+  for (uint32_t i = 0; i < scores.size(); ++i) {
+    whole.Push(i, scores[i]);
+    (i < 100 ? left : right).Push(i, scores[i]);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.SortedIndices(), whole.SortedIndices());
+}
+
+TEST(TopKAccumulatorTest, ThresholdIsWeakestKeptScore) {
+  TopKAccumulator acc(2);
+  EXPECT_EQ(acc.Threshold(), -std::numeric_limits<float>::infinity());
+  acc.Push(0, 0.3f);
+  EXPECT_EQ(acc.Threshold(), -std::numeric_limits<float>::infinity());
+  acc.Push(1, 0.8f);
+  EXPECT_FLOAT_EQ(acc.Threshold(), 0.3f);
+  acc.Push(2, 0.5f);
+  EXPECT_FLOAT_EQ(acc.Threshold(), 0.5f);
+}
+
+TEST(KernelTest, DotUnrolledMatchesNaive) {
+  Rng rng(13);
+  for (size_t n : {0u, 1u, 3u, 4u, 7u, 64u, 129u}) {
+    std::vector<float> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.NextDouble() - 0.5);
+      b[i] = static_cast<float>(rng.NextDouble() - 0.5);
+    }
+    double naive = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      naive += static_cast<double>(a[i]) * b[i];
+    }
+    EXPECT_NEAR(DotUnrolled(a.data(), b.data(), n), naive, 1e-4)
+        << "n=" << n;
+  }
+}
+
+TEST(KernelTest, CountGreaterMatchesNaive) {
+  Rng rng(14);
+  for (size_t n : {0u, 1u, 3u, 4u, 5u, 100u, 1023u}) {
+    std::vector<float> values(n);
+    for (auto& v : values) v = static_cast<float>(rng.NextDouble());
+    const float threshold = 0.5f;
+    size_t naive = 0;
+    for (float v : values) naive += v > threshold;
+    EXPECT_EQ(CountGreater(values.data(), n, threshold), naive) << "n=" << n;
+  }
+}
+
+TEST(KernelTest, CountGreaterIsStrict) {
+  const float values[] = {1.0f, 2.0f, 2.0f, 3.0f};
+  EXPECT_EQ(CountGreater(values, 4, 2.0f), 1u);
+}
+
+// Brute-force reference for the blocked kernels: full similarity matrix via
+// sequential dots, top-K via TopKIndices (the seed pool-build algorithm).
+Matrix NaiveSimMatrix(const Matrix& a, const Matrix& b) {
+  Matrix sim(a.rows(), b.rows());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < b.rows(); ++c) {
+      float acc = 0.0f;
+      for (size_t i = 0; i < a.cols(); ++i) {
+        acc += a.RowData(r)[i] * b.RowData(c)[i];
+      }
+      sim(r, c) = acc;
+    }
+  }
+  return sim;
+}
+
+TEST(KernelTest, BlockedSimTopKMatchesBruteForce) {
+  Rng rng(15);
+  // Odd sizes exercise partial tiles; dim 19 exercises the unroll tail.
+  Matrix a(67, 19), b(53, 19);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+  const size_t row_k = 9, col_k = 5;
+  const Matrix sim = NaiveSimMatrix(a, b);
+
+  for (bool parallel : {false, true}) {
+    BlockedKernelOptions options;
+    options.row_block = 16;
+    options.col_block = 24;
+    options.parallel = parallel;
+    SimTopK topk = BlockedSimTopK(a, b, row_k, col_k, options);
+    ASSERT_EQ(topk.row_topk.size(), a.rows());
+    ASSERT_EQ(topk.col_topk.size(), b.rows());
+    for (size_t r = 0; r < a.rows(); ++r) {
+      std::vector<float> row(sim.RowData(r), sim.RowData(r) + sim.cols());
+      std::vector<size_t> expected = TopKIndices(row, row_k);
+      ASSERT_EQ(topk.row_topk[r].size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(topk.row_topk[r][i].index, expected[i])
+            << "parallel=" << parallel << " row=" << r << " i=" << i;
+      }
+    }
+    for (size_t c = 0; c < b.rows(); ++c) {
+      std::vector<float> col(a.rows());
+      for (size_t r = 0; r < a.rows(); ++r) col[r] = sim(r, c);
+      std::vector<size_t> expected = TopKIndices(col, col_k);
+      ASSERT_EQ(topk.col_topk[c].size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(topk.col_topk[c][i].index, expected[i])
+            << "parallel=" << parallel << " col=" << c << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelTest, BlockedSimTopKSkipsDirectionsWithZeroK) {
+  Rng rng(16);
+  Matrix a(10, 8), b(12, 8);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+  SimTopK topk = BlockedSimTopK(a, b, 3, 0);
+  for (const auto& row : topk.row_topk) EXPECT_EQ(row.size(), 3u);
+  for (const auto& col : topk.col_topk) EXPECT_TRUE(col.empty());
+}
+
+TEST(KernelTest, BlockedSimTopKEmptyInputs) {
+  SimTopK topk = BlockedSimTopK(Matrix(0, 4), Matrix(0, 4), 3, 3);
+  EXPECT_TRUE(topk.row_topk.empty());
+  EXPECT_TRUE(topk.col_topk.empty());
+}
+
+TEST(KernelTest, BlockedMatMulNTMatchesNaive) {
+  Rng rng(17);
+  Matrix a(33, 21), b(29, 21);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+  const Matrix expected = NaiveSimMatrix(a, b);
+  for (bool parallel : {false, true}) {
+    BlockedKernelOptions options;
+    options.row_block = 8;
+    options.col_block = 16;
+    options.parallel = parallel;
+    Matrix out;
+    BlockedMatMulNT(a, b, &out, options);
+    ASSERT_EQ(out.rows(), expected.rows());
+    ASSERT_EQ(out.cols(), expected.cols());
+    for (size_t r = 0; r < out.rows(); ++r) {
+      for (size_t c = 0; c < out.cols(); ++c) {
+        EXPECT_NEAR(out(r, c), expected(r, c), 1e-4)
+            << "parallel=" << parallel << " r=" << r << " c=" << c;
+      }
+    }
+  }
 }
 
 }  // namespace
