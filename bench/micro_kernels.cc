@@ -15,6 +15,7 @@
 #include "kg/synthetic.h"
 #include "tensor/matrix.h"
 #include "tensor/ops.h"
+#include "tensor/simd/simd.h"
 #include "tensor/topk.h"
 
 namespace daakg {
@@ -145,6 +146,123 @@ void BM_BlockedMatMulNT(benchmark::State& state) {
 }
 BENCHMARK(BM_BlockedMatMulNT)->Arg(512)->Arg(1024)->Unit(benchmark::kMillisecond);
 
+// --------------------------------------------------------------------------
+// SIMD kernel backend: scalar reference vs the runtime-dispatched backend.
+// GFLOPS counters let BENCH_kernels.json record the dispatched / scalar
+// throughput ratio directly (acceptance bar: >= 1.8x for dot and matmul on
+// AVX2+FMA hosts).
+// --------------------------------------------------------------------------
+
+const simd::Ops& BenchOps(bool dispatched) {
+  return dispatched ? simd::ActiveOps() : simd::ScalarOps();
+}
+
+void KernelDotBench(benchmark::State& state, bool dispatched) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const simd::Ops& ops = BenchOps(dispatched);
+  Rng rng(11);
+  Vector a(dim), b(dim);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.dot(a.data(), b.data(), dim));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(dim) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_KernelDot_Scalar(benchmark::State& state) {
+  KernelDotBench(state, /*dispatched=*/false);
+}
+void BM_KernelDot_Dispatched(benchmark::State& state) {
+  KernelDotBench(state, /*dispatched=*/true);
+}
+BENCHMARK(BM_KernelDot_Scalar)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_KernelDot_Dispatched)->Arg(64)->Arg(256)->Arg(1024);
+
+void KernelDot4Bench(benchmark::State& state, bool dispatched) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const simd::Ops& ops = BenchOps(dispatched);
+  Rng rng(12);
+  Vector a(dim);
+  a.InitGaussian(&rng, 1.0f);
+  Matrix b(4, dim);
+  b.InitGaussian(&rng, 1.0f);
+  float out[4];
+  for (auto _ : state) {
+    ops.dot4(a.data(), b.RowData(0), b.RowData(1), b.RowData(2), b.RowData(3),
+             dim, out);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      8.0 * static_cast<double>(dim) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_KernelDot4_Scalar(benchmark::State& state) {
+  KernelDot4Bench(state, /*dispatched=*/false);
+}
+void BM_KernelDot4_Dispatched(benchmark::State& state) {
+  KernelDot4Bench(state, /*dispatched=*/true);
+}
+BENCHMARK(BM_KernelDot4_Scalar)->Arg(64)->Arg(256);
+BENCHMARK(BM_KernelDot4_Dispatched)->Arg(64)->Arg(256);
+
+void KernelMatMulBench(benchmark::State& state, bool dispatched) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = 64;
+  SimBenchInput& input = SimInput(n, dim);
+  BlockedKernelOptions options;
+  options.backend = dispatched ? simd::Choice::kAuto : simd::Choice::kScalar;
+  Matrix out;
+  for (auto _ : state) {
+    BlockedMatMulNT(input.a, input.b, &out, options);
+    benchmark::DoNotOptimize(out.RowData(0));
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * dim * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_KernelMatMulNT_Scalar(benchmark::State& state) {
+  KernelMatMulBench(state, /*dispatched=*/false);
+}
+void BM_KernelMatMulNT_Dispatched(benchmark::State& state) {
+  KernelMatMulBench(state, /*dispatched=*/true);
+}
+BENCHMARK(BM_KernelMatMulNT_Scalar)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelMatMulNT_Dispatched)->Arg(512)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void KernelPoolTopKBench(benchmark::State& state, bool dispatched) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t dim = 64;
+  const size_t k = 25;
+  SimBenchInput& input = SimInput(n, dim);
+  BlockedKernelOptions options;
+  options.backend = dispatched ? simd::Choice::kAuto : simd::Choice::kScalar;
+  for (auto _ : state) {
+    SimTopK topk = BlockedSimTopK(input.a, input.b, k, k, options);
+    benchmark::DoNotOptimize(topk.row_topk.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * dim * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_KernelPoolTopK_Scalar(benchmark::State& state) {
+  KernelPoolTopKBench(state, /*dispatched=*/false);
+}
+void BM_KernelPoolTopK_Dispatched(benchmark::State& state) {
+  KernelPoolTopKBench(state, /*dispatched=*/true);
+}
+BENCHMARK(BM_KernelPoolTopK_Scalar)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KernelPoolTopK_Dispatched)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
 AlignmentTask& BenchTask() {
   static AlignmentTask* task = [] {
     SyntheticKgSpec spec;
@@ -260,4 +378,16 @@ BENCHMARK(BM_InferencePowerQuery)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace daakg
 
-BENCHMARK_MAIN();
+// Custom main so the report (and BENCH_kernels.json) records which SIMD
+// backend the dispatched benchmarks actually ran on.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("daakg_simd_backend",
+                              daakg::simd::ActiveOps().name);
+  benchmark::AddCustomContext(
+      "daakg_avx2_available", daakg::simd::Avx2Available() ? "yes" : "no");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 verification, three times over: a plain release build, an
 # ASan+UBSan build, and a TSan build focused on the concurrent paths
-# (thread pool, blocked kernels, pool generation, selection).
+# (thread pool, blocked kernels, pool generation, selection). A SIMD
+# backend matrix leg then re-runs the kernel-sensitive subset under
+# DAAKG_SIMD=scalar and the dispatched default to pin down cross-backend
+# determinism of pool, matching and selection outputs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -12,6 +15,21 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
+echo "== SIMD backend matrix (scalar vs dispatched) =="
+KERNEL_FILTER='KernelTest.*:TopKAccumulatorTest.*:SimdTest.*'
+POOL_FILTER='ActiveTest.GeneratedPoolMatchesBruteForceMutualTopN:ActiveTest.RepeatedSelectionIsDeterministic'
+ALIGN_FILTER='MetricsTest.*:JointModelTest.Incremental*'
+for backend in scalar ""; do
+  if [ -n "$backend" ]; then
+    echo "-- DAAKG_SIMD=$backend --"
+  else
+    echo "-- dispatched default --"
+  fi
+  DAAKG_SIMD="$backend" ./build/tests/tensor_test --gtest_filter="$KERNEL_FILTER"
+  DAAKG_SIMD="$backend" ./build/tests/active_test --gtest_filter="$POOL_FILTER"
+  DAAKG_SIMD="$backend" ./build/tests/align_test --gtest_filter="$ALIGN_FILTER"
+done
+
 echo "== sanitizer build (ASan+UBSan) =="
 cmake -B build-asan -S . -DDAAKG_SANITIZE=ON
 cmake --build build-asan -j "$JOBS"
@@ -19,10 +37,11 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== sanitizer build (TSan, concurrency-heavy tests) =="
 cmake -B build-tsan -S . -DDAAKG_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target common_test tensor_test active_test infer_test
+cmake --build build-tsan -j "$JOBS" --target common_test tensor_test active_test infer_test align_test
 ./build-tsan/tests/common_test --gtest_filter='ThreadPoolTest.*'
-./build-tsan/tests/tensor_test --gtest_filter='KernelTest.*:TopKAccumulatorTest.*'
+./build-tsan/tests/tensor_test --gtest_filter='KernelTest.*:TopKAccumulatorTest.*:SimdTest.*'
 ./build-tsan/tests/active_test --gtest_filter='ActiveTest.GeneratedPoolMatchesBruteForceMutualTopN:ActiveTest.RepeatedSelectionIsDeterministic'
 ./build-tsan/tests/infer_test --gtest_filter='InferTest.PowerFromEveryNodeConcurrently'
+./build-tsan/tests/align_test --gtest_filter='JointModelTest.Incremental*:MetricsTest.Streaming*'
 
 echo "ci.sh: all green"

@@ -157,9 +157,11 @@ void JointAlignmentModel::ComputeEntitySimMatrix() {
   normalize_rows(&unit2);
 
   // Unit rows make the blocked A * B^T exactly the cosine matrix.
-  BlockedMatMulNT(unit1, unit2, &ent_sim_);
+  RefreshEntitySimFromUnits(unit1, unit2);
 
-  // Entity weights (Eq. 6): best similarity in the other KG.
+  // Entity weights (Eq. 6): best similarity in the other KG. Computed from
+  // the (possibly incrementally refreshed) cache; staleness is bounded by
+  // the refresh threshold.
   weight1_.assign(n1, -1.0f);
   weight2_.assign(n2, -1.0f);
   for (size_t r = 0; r < n1; ++r) {
@@ -172,6 +174,153 @@ void JointAlignmentModel::ComputeEntitySimMatrix() {
   // Clamp to [0, 1]: a best-match cosine below zero means "surely dangling".
   for (auto& w : weight1_) w = std::max(w, 0.0f);
   for (auto& w : weight2_) w = std::max(w, 0.0f);
+}
+
+void JointAlignmentModel::RefreshEntitySimFromUnits(const Matrix& unit1,
+                                                    const Matrix& unit2) {
+  static obs::Counter* full_refreshes = obs::GlobalMetrics().GetCounter(
+      "daakg.align.ent_sim_full_refreshes");
+  static obs::Counter* incr_refreshes = obs::GlobalMetrics().GetCounter(
+      "daakg.align.ent_sim_incremental_refreshes");
+  static obs::Counter* rows_refreshed_total = obs::GlobalMetrics().GetCounter(
+      "daakg.align.ent_sim_rows_refreshed");
+  static obs::Counter* rows_skipped_total = obs::GlobalMetrics().GetCounter(
+      "daakg.align.ent_sim_rows_skipped");
+  static obs::Counter* cols_patched_total = obs::GlobalMetrics().GetCounter(
+      "daakg.align.ent_sim_cols_patched");
+  static obs::Gauge* refresh_fraction = obs::GlobalMetrics().GetGauge(
+      "daakg.align.ent_sim_refresh_fraction");
+
+  const size_t n1 = unit1.rows();
+  const size_t n2 = unit2.rows();
+  const size_t dim = unit1.cols();
+  ent_sim_refresh_stats_ = {};
+  ent_sim_refresh_stats_.rows_total = n1;
+
+  const bool can_incremental =
+      config_.incremental_ent_sim && have_prev_units_ &&
+      prev_unit1_.rows() == n1 && prev_unit2_.rows() == n2 &&
+      prev_unit1_.cols() == dim && prev_unit2_.cols() == dim &&
+      ent_sim_.rows() == n1 && ent_sim_.cols() == n2;
+  if (can_incremental) {
+    const float thr = std::max(config_.ent_sim_refresh_threshold, 0.0f);
+    const double thr_sq = static_cast<double>(thr) * thr;
+    // Drift of each unit row against the snapshot it was last computed
+    // with. Rows (and columns) that stayed within the threshold since
+    // their snapshot keep their cached cells; every kept cell is then
+    // within 4 * threshold of the exact cosine (each side's current and
+    // last-written rows are both within threshold of the shared snapshot,
+    // and all rows are unit-norm).
+    std::vector<char> row_moved(n1, 0);
+    std::vector<char> col_moved(n2, 0);
+    ThreadPool& pool = GlobalThreadPool();
+    auto moved = [thr_sq, dim](const Matrix& now, const Matrix& prev,
+                               size_t r) -> char {
+      const float* a = now.RowData(r);
+      const float* b = prev.RowData(r);
+      double acc = 0.0;
+      for (size_t i = 0; i < dim; ++i) {
+        const double d = static_cast<double>(a[i]) - b[i];
+        acc += d * d;
+      }
+      return acc > thr_sq;
+    };
+    pool.ParallelFor(n1, [&](size_t r) {
+      row_moved[r] = moved(unit1, prev_unit1_, r);
+    });
+    pool.ParallelFor(n2, [&](size_t c) {
+      col_moved[c] = moved(unit2, prev_unit2_, c);
+    });
+
+    const size_t band = std::max<size_t>(1, config_.ent_sim_band_rows);
+    const size_t num_bands = (n1 + band - 1) / band;
+    std::vector<char> band_dirty(num_bands, 0);
+    size_t rows_to_refresh = 0;
+    for (size_t bi = 0; bi < num_bands; ++bi) {
+      const size_t begin = bi * band;
+      const size_t end = std::min(n1, begin + band);
+      for (size_t r = begin; r < end; ++r) {
+        if (row_moved[r]) {
+          band_dirty[bi] = 1;
+          break;
+        }
+      }
+      if (band_dirty[bi]) rows_to_refresh += end - begin;
+    }
+    size_t moved_cols = 0;
+    for (size_t c = 0; c < n2; ++c) moved_cols += col_moved[c] != 0;
+
+    const double frac = std::clamp(
+        static_cast<double>(config_.ent_sim_full_refresh_fraction), 0.0, 1.0);
+    if (static_cast<double>(rows_to_refresh) <= frac * static_cast<double>(n1) &&
+        static_cast<double>(moved_cols) <= frac * static_cast<double>(n2)) {
+      // Recompute contiguous runs of dirty bands through the row-range
+      // kernel; snapshot exactly the rows that were rewritten.
+      for (size_t bi = 0; bi < num_bands;) {
+        if (!band_dirty[bi]) {
+          ++bi;
+          continue;
+        }
+        size_t bj = bi;
+        while (bj < num_bands && band_dirty[bj]) ++bj;
+        const size_t begin = bi * band;
+        const size_t end = std::min(n1, bj * band);
+        BlockedMatMulNTRows(unit1, unit2, begin, end, &ent_sim_);
+        for (size_t r = begin; r < end; ++r) {
+          std::copy_n(unit1.RowData(r), dim, prev_unit1_.RowData(r));
+        }
+        bi = bj;
+      }
+      // Patch moved KG2 columns in the rows that kept their band. The
+      // dispatched dot is bitwise identical to the band kernel's cells
+      // within a backend, so patched and band-refreshed cells agree
+      // exactly.
+      if (moved_cols > 0) {
+        std::vector<uint32_t> patch_cols;
+        patch_cols.reserve(moved_cols);
+        for (size_t c = 0; c < n2; ++c) {
+          if (col_moved[c]) patch_cols.push_back(static_cast<uint32_t>(c));
+        }
+        const simd::Ops& ops = simd::ActiveOps();
+        pool.ParallelFor(n1, [&](size_t r) {
+          if (band_dirty[r / band]) return;
+          float* row = ent_sim_.RowData(r);
+          const float* ur = unit1.RowData(r);
+          for (uint32_t c : patch_cols) {
+            row[c] = ops.dot(ur, unit2.RowData(c), dim);
+          }
+        });
+        for (uint32_t c : patch_cols) {
+          std::copy_n(unit2.RowData(c), dim, prev_unit2_.RowData(c));
+        }
+      }
+      ent_sim_refresh_stats_.incremental = true;
+      ent_sim_refresh_stats_.rows_refreshed = rows_to_refresh;
+      ent_sim_refresh_stats_.cols_patched = moved_cols;
+      incr_refreshes->Increment();
+      rows_refreshed_total->Increment(rows_to_refresh);
+      rows_skipped_total->Increment(n1 - rows_to_refresh);
+      cols_patched_total->Increment(moved_cols);
+      refresh_fraction->Set(
+          n1 > 0 ? static_cast<double>(rows_to_refresh) / n1 : 0.0);
+      return;
+    }
+  }
+
+  // Full refresh: first call, incremental disabled, shape change, or too
+  // much movement for the incremental path to pay off.
+  BlockedMatMulNT(unit1, unit2, &ent_sim_);
+  if (config_.incremental_ent_sim) {
+    prev_unit1_ = unit1;
+    prev_unit2_ = unit2;
+    have_prev_units_ = true;
+  } else {
+    have_prev_units_ = false;
+  }
+  ent_sim_refresh_stats_.rows_refreshed = n1;
+  full_refreshes->Increment();
+  rows_refreshed_total->Increment(n1);
+  refresh_fraction->Set(n1 > 0 ? 1.0 : 0.0);
 }
 
 void JointAlignmentModel::ComputeMeanEmbeddings() {

@@ -43,6 +43,22 @@ struct JointAlignConfig {
   double focal_gamma = 2.0;    // focal-loss focus (fine-tuning)
   bool use_mean_embeddings = true;   // Table 5 ablation switch
   bool update_embeddings = true;     // backprop alignment loss into KGE
+  // --- entity-similarity cache refresh policy ----------------------------
+  // When true, RefreshCaches() recomputes only the row bands of the cached
+  // ent_sim_ whose unit-normalized source rows moved more than
+  // `ent_sim_refresh_threshold` since they were last computed (plus
+  // per-column patches for moved KG2 rows); every cached cell then stays
+  // within 4 * threshold of the exact cosine (see DESIGN.md, "Incremental
+  // entity-similarity refresh"). False forces the bit-exact full recompute
+  // every round.
+  bool incremental_ent_sim = true;
+  float ent_sim_refresh_threshold = 1e-3f;
+  // Rows are refreshed in bands of this many rows (amortizes the tiled
+  // kernel's column-tile reloads across neighboring moved rows).
+  size_t ent_sim_band_rows = 64;
+  // Fall back to a full refresh when more than this fraction of rows or of
+  // columns moved — incremental bookkeeping would cost more than it saves.
+  float ent_sim_full_refresh_fraction = 0.5f;
   uint64_t seed = 29;
 };
 
@@ -92,6 +108,18 @@ class JointAlignmentModel {
   const Matrix& entity_sim() const { return ent_sim_; }
   const Matrix& relation_sim() const { return rel_sim_; }
   const Matrix& class_sim() const { return cls_sim_; }
+
+  // What the last ent_sim_ refresh actually recomputed.
+  struct EntSimRefreshStats {
+    bool incremental = false;   // false: full recompute (first call,
+                                // fallback, or incremental_ent_sim off)
+    size_t rows_total = 0;
+    size_t rows_refreshed = 0;  // rows recomputed via row-band matmul
+    size_t cols_patched = 0;    // moved columns rewritten in skipped rows
+  };
+  const EntSimRefreshStats& ent_sim_refresh_stats() const {
+    return ent_sim_refresh_stats_;
+  }
 
   float EntityWeight1(EntityId e1) const { return weight1_[e1]; }
   float EntityWeight2(EntityId e2) const { return weight2_[e2]; }
@@ -160,6 +188,10 @@ class JointAlignmentModel {
   void AscendPairSimilarity(const ElementPair& pair, double weight, float lr);
 
   void ComputeEntitySimMatrix();
+  // Fills ent_sim_ = unit1 * unit2^T, either wholesale or — when the
+  // incremental policy allows — only the row bands / columns whose unit
+  // rows drifted beyond the configured threshold since their snapshot.
+  void RefreshEntitySimFromUnits(const Matrix& unit1, const Matrix& unit2);
   void ComputeMeanEmbeddings();
   void ComputeSchemaSimMatrices();
   void ComputeCalibrationDenominators();
@@ -188,6 +220,14 @@ class JointAlignmentModel {
   Matrix repr2_;     // |E2| x dim
   Matrix mapped1_;   // |E1| x dim  (A_ent * repr1)
   Matrix ent_sim_;   // |E1| x |E2| cosine
+  // Unit-row snapshots the cached ent_sim_ cells were computed against:
+  // prev_unit1_ row r is updated only when row r is actually refreshed,
+  // prev_unit2_ row c only when column c is patched (or on full refresh),
+  // so per-cell drift stays bounded across rounds of skipped work.
+  Matrix prev_unit1_;
+  Matrix prev_unit2_;
+  bool have_prev_units_ = false;
+  EntSimRefreshStats ent_sim_refresh_stats_;
   Matrix rel_sim_;   // base relations only
   Matrix cls_sim_;
   std::vector<float> weight1_;  // Eq. 6

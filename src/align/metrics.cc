@@ -1,10 +1,12 @@
 #include "align/metrics.h"
 
 #include <algorithm>
+#include <limits>
 #include <tuple>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "tensor/simd/simd.h"
 #include "tensor/topk.h"
 
 namespace daakg {
@@ -32,6 +34,75 @@ RankingMetrics EvaluateRanking(
     m.hits_at_10 /= n;
     m.mrr /= n;
   }
+  return m;
+}
+
+RankingMetrics EvaluateRankingStreaming(
+    const Matrix& a, const Matrix& b,
+    const std::vector<std::pair<uint32_t, uint32_t>>& test_pairs,
+    const BlockedKernelOptions& options) {
+  RankingMetrics m;
+  if (test_pairs.empty()) return m;
+  DAAKG_CHECK_EQ(a.cols(), b.cols());
+  const size_t num_queries = test_pairs.size();
+  constexpr size_t kNone = std::numeric_limits<size_t>::max();
+
+  // Compact the distinct query rows so the tile walk only touches them.
+  std::vector<size_t> compact_of(a.rows(), kNone);
+  std::vector<uint32_t> unique_rows;
+  for (const auto& [first, second] : test_pairs) {
+    DAAKG_CHECK_LT(first, a.rows());
+    DAAKG_CHECK_LT(second, b.rows());
+    if (compact_of[first] == kNone) {
+      compact_of[first] = unique_rows.size();
+      unique_rows.push_back(first);
+    }
+  }
+  Matrix aq(unique_rows.size(), a.cols());
+  std::vector<std::vector<size_t>> queries_of(unique_rows.size());
+  for (size_t i = 0; i < unique_rows.size(); ++i) {
+    std::copy_n(a.RowData(unique_rows[i]), a.cols(), aq.RowData(i));
+  }
+  for (size_t q = 0; q < num_queries; ++q) {
+    queries_of[compact_of[test_pairs[q].first]].push_back(q);
+  }
+
+  // Targets via the dispatched dot, which is bitwise identical to the tile
+  // cells the walk below produces for the same backend — exactly the value
+  // the materialized path reads out of its row.
+  const simd::Ops& ops = simd::Resolve(options.backend);
+  std::vector<float> target(num_queries);
+  for (size_t q = 0; q < num_queries; ++q) {
+    target[q] = ops.dot(a.RowData(test_pairs[q].first),
+                        b.RowData(test_pairs[q].second), a.cols());
+  }
+
+  // Strictly-greater counts accumulate tile by tile. All tiles of one
+  // compact row come from a single shard, so each greater[q] has exactly
+  // one writer.
+  std::vector<size_t> greater(num_queries, 0);
+  BlockedSimVisit(
+      aq, b,
+      [&](size_t r, size_t /*c0*/, const float* sims, size_t count) {
+        for (size_t q : queries_of[r]) {
+          greater[q] += ops.count_greater(sims, count, target[q]);
+        }
+      },
+      options);
+
+  // Fold ranks in the original test-pair order (same summation order as
+  // the materialized path).
+  for (size_t q = 0; q < num_queries; ++q) {
+    const size_t rank = 1 + greater[q];
+    if (rank == 1) m.hits_at_1 += 1.0;
+    if (rank <= 10) m.hits_at_10 += 1.0;
+    m.mrr += 1.0 / static_cast<double>(rank);
+    ++m.num_queries;
+  }
+  const double n = static_cast<double>(m.num_queries);
+  m.hits_at_1 /= n;
+  m.hits_at_10 /= n;
+  m.mrr /= n;
   return m;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "tensor/topk.h"
 
 namespace daakg {
 
@@ -34,6 +35,19 @@ struct PrfMetrics {
 RankingMetrics EvaluateRanking(
     const Matrix& sim,
     const std::vector<std::pair<uint32_t, uint32_t>>& test_pairs);
+
+// Streaming variant: computes the same metrics directly from the embedding
+// matrices `a` (|X1| x dim) and `b` (|X2| x dim) without materializing the
+// |X1| x |X2| similarity matrix — only the rows named by `test_pairs` are
+// streamed, tile by tile, through the blocked kernel. Bit-identical to
+// EvaluateRanking on BlockedMatMulNT(a, b) under the same options: tile
+// cells and the target cell come from the same dispatched kernels, and
+// per-query ranks are folded in the original test-pair order. Peak extra
+// memory is O(unique_rows * dim), not O(|X1| * |X2|).
+RankingMetrics EvaluateRankingStreaming(
+    const Matrix& a, const Matrix& b,
+    const std::vector<std::pair<uint32_t, uint32_t>>& test_pairs,
+    const BlockedKernelOptions& options = {});
 
 // Greedy one-to-one matching: repeatedly takes the highest-similarity
 // unused (row, col) pair with similarity >= threshold, then scores the

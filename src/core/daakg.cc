@@ -84,6 +84,18 @@ Status DaakgConfig::Validate() const {
   if (align.tau < 0.0 || align.tau > 1.0) {
     return InvalidArgumentError("align.tau must be in [0, 1]");
   }
+  if (align.ent_sim_refresh_threshold < 0.0f) {
+    return InvalidArgumentError(
+        "align.ent_sim_refresh_threshold must be non-negative");
+  }
+  if (align.ent_sim_band_rows == 0) {
+    return InvalidArgumentError("align.ent_sim_band_rows must be positive");
+  }
+  if (align.ent_sim_full_refresh_fraction < 0.0f ||
+      align.ent_sim_full_refresh_fraction > 1.0f) {
+    return InvalidArgumentError(
+        "align.ent_sim_full_refresh_fraction must be in [0, 1]");
+  }
   if (fine_tune_epochs <= 0) {
     return InvalidArgumentError("fine_tune_epochs must be positive");
   }

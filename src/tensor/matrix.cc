@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd/simd.h"
+
 namespace daakg {
 
 Vector Matrix::Row(size_t r) const {
@@ -23,8 +25,10 @@ void Matrix::SetRow(size_t r, const Vector& v) {
 void Matrix::RowAxpy(size_t r, float alpha, const Vector& v) {
   DAAKG_CHECK_LT(r, rows_);
   DAAKG_CHECK_EQ(v.dim(), cols_);
-  float* dst = RowData(r);
-  for (size_t c = 0; c < cols_; ++c) dst[c] += alpha * v[c];
+  // Dispatched but bit-identical to the scalar loop on every backend
+  // (rounding contract in simd/simd.h) — this is the trainers' embedding
+  // update path, which must not diverge across backends.
+  simd::ActiveOps().axpy(alpha, v.data(), RowData(r), cols_);
 }
 
 void Matrix::Fill(float value) {
@@ -40,28 +44,29 @@ void Matrix::SetIdentity() {
 Matrix& Matrix::operator+=(const Matrix& other) {
   DAAKG_CHECK_EQ(rows_, other.rows_);
   DAAKG_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::ActiveOps().axpy(1.0f, other.data_.data(), data_.data(),
+                         data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator-=(const Matrix& other) {
   DAAKG_CHECK_EQ(rows_, other.rows_);
   DAAKG_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  simd::ActiveOps().axpy(-1.0f, other.data_.data(), data_.data(),
+                         data_.size());
   return *this;
 }
 
 Matrix& Matrix::operator*=(float s) {
-  for (auto& v : data_) v *= s;
+  simd::ActiveOps().scale(data_.data(), data_.size(), s);
   return *this;
 }
 
 void Matrix::Axpy(float alpha, const Matrix& other) {
   DAAKG_CHECK_EQ(rows_, other.rows_);
   DAAKG_CHECK_EQ(cols_, other.cols_);
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  simd::ActiveOps().axpy(alpha, other.data_.data(), data_.data(),
+                         data_.size());
 }
 
 Vector Matrix::Multiply(const Vector& x) const {

@@ -1,0 +1,18 @@
+#ifndef DAAKG_TENSOR_SIMD_KERNELS_INTERNAL_H_
+#define DAAKG_TENSOR_SIMD_KERNELS_INTERNAL_H_
+
+#include "tensor/simd/simd.h"
+
+namespace daakg {
+namespace simd {
+
+// Entry point of the AVX2 kernel translation unit (the only TU built with
+// -mavx2 -mfma). Returns null when those kernels were compiled out, so the
+// rest of the binary stays baseline-ISA and never even references an AVX2
+// instruction. Callers must still gate on CPU feature detection.
+const Ops* Avx2KernelOps();
+
+}  // namespace simd
+}  // namespace daakg
+
+#endif  // DAAKG_TENSOR_SIMD_KERNELS_INTERNAL_H_

@@ -83,66 +83,14 @@ std::vector<uint32_t> TopKAccumulator::SortedIndices() const {
 }
 
 float DotUnrolled(const float* a, const float* b, size_t n) {
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  float acc = (acc0 + acc1) + (acc2 + acc3);
-  for (; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::ActiveOps().dot(a, b, n);
 }
 
 size_t CountGreater(const float* values, size_t n, float threshold) {
-  size_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    c0 += values[i] > threshold;
-    c1 += values[i + 1] > threshold;
-    c2 += values[i + 2] > threshold;
-    c3 += values[i + 3] > threshold;
-  }
-  size_t count = c0 + c1 + c2 + c3;
-  for (; i < n; ++i) count += values[i] > threshold;
-  return count;
+  return simd::ActiveOps().count_greater(values, n, threshold);
 }
 
 namespace {
-
-// Register-tiled micro-kernel: four dot products of `a` against four `b`
-// rows at once. Each a[i..i+3] load is reused across all four columns, and
-// the 4x4 accumulator grid is exactly four independent copies of
-// DotUnrolled's lanes, so GCC's SLP pass turns each column into one vector
-// accumulator at plain -O2 — and every out[c] is bitwise identical to
-// DotUnrolled(a, b_c, n) (same lanes, same (0+1)+(2+3) combine, same
-// sequential tail).
-inline void Dot4Cols(const float* a, const float* b0, const float* b1,
-                     const float* b2, const float* b3, size_t n,
-                     float out[4]) {
-  float acc[4][4] = {};
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    for (size_t j = 0; j < 4; ++j) {
-      const float av = a[i + j];
-      acc[0][j] += av * b0[i + j];
-      acc[1][j] += av * b1[i + j];
-      acc[2][j] += av * b2[i + j];
-      acc[3][j] += av * b3[i + j];
-    }
-  }
-  for (size_t c = 0; c < 4; ++c) {
-    out[c] = (acc[c][0] + acc[c][1]) + (acc[c][2] + acc[c][3]);
-  }
-  for (; i < n; ++i) {
-    out[0] += a[i] * b0[i];
-    out[1] += a[i] * b1[i];
-    out[2] += a[i] * b2[i];
-    out[3] += a[i] * b3[i];
-  }
-}
 
 // Hard cap on col_block so each tile row of similarities fits in a stack
 // buffer (and comfortably in L1).
@@ -153,13 +101,14 @@ constexpr size_t kMaxColBlock = 512;
 // (row, tile) with the tile row's `count` consecutive similarities. Tiles
 // keep the col_block rows of `b` hot in cache while each is reused
 // row_block times. The dots for a whole tile row are computed into a local
-// buffer before the visitor runs — keeping the micro-kernel loop free of
-// consumer state is what lets the compiler hold its 4x4 accumulator grid
-// in vector registers.
+// buffer through the `ops` kernel table before the visitor runs — keeping
+// the micro-kernel loop free of consumer state is what lets it live in
+// vector registers. ops.dot4 column c is bitwise ops.dot(a, b_c), so the
+// 4-wide and remainder columns agree exactly within a backend.
 template <typename Visitor>
 void TiledSimWalk(const Matrix& a, const Matrix& b, size_t row_begin,
-                  size_t row_end, const BlockedKernelOptions& options,
-                  Visitor&& visit) {
+                  size_t row_end, const simd::Ops& ops,
+                  const BlockedKernelOptions& options, Visitor&& visit) {
   const size_t n2 = b.rows();
   const size_t dim = a.cols();
   const size_t row_block = std::max<size_t>(1, options.row_block);
@@ -174,16 +123,26 @@ void TiledSimWalk(const Matrix& a, const Matrix& b, size_t row_begin,
         const float* ar = a.RowData(r);
         size_t c = c0;
         for (; c + 4 <= c1; c += 4) {
-          Dot4Cols(ar, b.RowData(c), b.RowData(c + 1), b.RowData(c + 2),
+          ops.dot4(ar, b.RowData(c), b.RowData(c + 1), b.RowData(c + 2),
                    b.RowData(c + 3), dim, &sims[c - c0]);
         }
         for (; c < c1; ++c) {
-          sims[c - c0] = DotUnrolled(ar, b.RowData(c), dim);
+          sims[c - c0] = ops.dot(ar, b.RowData(c), dim);
         }
         visit(r, c0, sims, c1 - c0);
       }
     }
   }
+}
+
+// Per-backend dispatch counters for the blocked kernel entry points.
+void CountKernelDispatch(const simd::Ops& ops) {
+  static obs::Counter* scalar_calls =
+      obs::GlobalMetrics().GetCounter("daakg.tensor.kernel_calls_scalar");
+  static obs::Counter* avx2_calls =
+      obs::GlobalMetrics().GetCounter("daakg.tensor.kernel_calls_avx2");
+  (ops.backend == simd::Backend::kAvx2 ? avx2_calls : scalar_calls)
+      ->Increment();
 }
 
 }  // namespace
@@ -197,6 +156,7 @@ SimTopK BlockedSimTopK(const Matrix& a, const Matrix& b, size_t row_k,
   obs::ScopedTimer span(timing);
 
   DAAKG_CHECK_EQ(a.cols(), b.cols());
+  const simd::Ops& ops = simd::Resolve(options.backend);
   const size_t n1 = a.rows();
   const size_t n2 = b.rows();
   row_k = std::min(row_k, n2);
@@ -206,6 +166,7 @@ SimTopK BlockedSimTopK(const Matrix& a, const Matrix& b, size_t row_k,
   out.row_topk.resize(n1);
   out.col_topk.resize(n2);
   if (n1 == 0 || n2 == 0) return out;
+  CountKernelDispatch(ops);
   cells->Increment(static_cast<uint64_t>(n1) * n2);
 
   // Row accumulators are owned per row (disjoint across shards); column
@@ -231,7 +192,7 @@ SimTopK BlockedSimTopK(const Matrix& a, const Matrix& b, size_t row_k,
     std::vector<TopKAccumulator>& cols = shard_cols[shard];
     std::vector<float>& col_thr = shard_col_thr[shard];
     TiledSimWalk(
-        a, b, begin, end, options,
+        a, b, begin, end, ops, options,
         [&](size_t r, size_t c, const float* sims, size_t count) {
           float rt = row_thr[r];
           for (size_t j = 0; j < count; ++j) {
@@ -271,6 +232,13 @@ SimTopK BlockedSimTopK(const Matrix& a, const Matrix& b, size_t row_k,
 
 void BlockedMatMulNT(const Matrix& a, const Matrix& b, Matrix* out,
                      const BlockedKernelOptions& options) {
+  *out = Matrix(a.rows(), b.rows());
+  BlockedMatMulNTRows(a, b, 0, a.rows(), out, options);
+}
+
+void BlockedMatMulNTRows(const Matrix& a, const Matrix& b, size_t row_begin,
+                         size_t row_end, Matrix* out,
+                         const BlockedKernelOptions& options) {
   static obs::Histogram* timing =
       obs::GlobalMetrics().GetHistogram("daakg.tensor.matmul_nt_seconds");
   static obs::Counter* cells =
@@ -278,26 +246,51 @@ void BlockedMatMulNT(const Matrix& a, const Matrix& b, Matrix* out,
   obs::ScopedTimer span(timing);
 
   DAAKG_CHECK_EQ(a.cols(), b.cols());
-  const size_t n1 = a.rows();
+  DAAKG_CHECK_EQ(out->rows(), a.rows());
+  DAAKG_CHECK_EQ(out->cols(), b.rows());
+  DAAKG_CHECK_LE(row_begin, row_end);
+  DAAKG_CHECK_LE(row_end, a.rows());
+  const simd::Ops& ops = simd::Resolve(options.backend);
   const size_t n2 = b.rows();
-  *out = Matrix(n1, n2);
-  if (n1 == 0 || n2 == 0) return;
-  cells->Increment(static_cast<uint64_t>(n1) * n2);
+  const size_t num_rows = row_end - row_begin;
+  if (num_rows == 0 || n2 == 0) return;
+  CountKernelDispatch(ops);
+  cells->Increment(static_cast<uint64_t>(num_rows) * n2);
 
   auto run_rows = [&](size_t begin, size_t end) {
-    TiledSimWalk(a, b, begin, end, options,
+    TiledSimWalk(a, b, begin, end, ops, options,
                  [&](size_t r, size_t c, const float* sims, size_t count) {
                    float* row = out->RowData(r) + c;
                    for (size_t j = 0; j < count; ++j) row[j] = sims[j];
                  });
   };
   if (options.parallel) {
+    // ParallelForShards hands out [0, num_rows); offset back into the
+    // requested row window.
     GlobalThreadPool().ParallelForShards(
-        n1, [&](size_t /*shard*/, size_t begin, size_t end) {
-          run_rows(begin, end);
+        num_rows, [&](size_t /*shard*/, size_t begin, size_t end) {
+          run_rows(row_begin + begin, row_begin + end);
         });
   } else {
-    run_rows(0, n1);
+    run_rows(row_begin, row_end);
+  }
+}
+
+void BlockedSimVisit(const Matrix& a, const Matrix& b,
+                     const SimTileVisitor& visit,
+                     const BlockedKernelOptions& options) {
+  DAAKG_CHECK_EQ(a.cols(), b.cols());
+  const simd::Ops& ops = simd::Resolve(options.backend);
+  const size_t n1 = a.rows();
+  if (n1 == 0 || b.rows() == 0) return;
+  CountKernelDispatch(ops);
+  if (options.parallel) {
+    GlobalThreadPool().ParallelForShards(
+        n1, [&](size_t /*shard*/, size_t begin, size_t end) {
+          TiledSimWalk(a, b, begin, end, ops, options, visit);
+        });
+  } else {
+    TiledSimWalk(a, b, 0, n1, ops, options, visit);
   }
 }
 

@@ -3,9 +3,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "tensor/simd/simd.h"
 
 namespace daakg {
 
@@ -75,6 +77,9 @@ struct BlockedKernelOptions {
   // Shard rows across the global thread pool (per-shard column state is
   // merged after the pass). Disable for single-threaded determinism tests.
   bool parallel = true;
+  // SIMD kernel backend for this call; kAuto uses the process-wide
+  // dispatched backend (see simd/simd.h for the rounding contract).
+  simd::Choice backend = simd::Choice::kAuto;
 };
 
 // Streams sim = a * b^T (rows of `a` against rows of `b`; equal cols())
@@ -94,13 +99,34 @@ SimTopK BlockedSimTopK(const Matrix& a, const Matrix& b, size_t row_k,
 void BlockedMatMulNT(const Matrix& a, const Matrix& b, Matrix* out,
                      const BlockedKernelOptions& options = {});
 
+// Row-range variant: recomputes only rows [row_begin, row_end) of
+// out = a * b^T, leaving every other row of `out` untouched. `out` must
+// already be a.rows() x b.rows(). This is what lets the entity-similarity
+// cache refresh individual row bands instead of the whole matrix.
+void BlockedMatMulNTRows(const Matrix& a, const Matrix& b, size_t row_begin,
+                         size_t row_end, Matrix* out,
+                         const BlockedKernelOptions& options = {});
+
+// Streams the tiles of a * b^T without materializing anything, invoking
+// visit(r, c0, sims, count) once per (row, tile) with `count` consecutive
+// similarities for columns [c0, c0 + count). Rows are sharded across the
+// thread pool when options.parallel; all calls for one row come from the
+// same shard, in ascending c0 order. Cell values are bitwise identical to
+// the corresponding BlockedMatMulNT entries under the same options.
+using SimTileVisitor =
+    std::function<void(size_t r, size_t c0, const float* sims, size_t count)>;
+void BlockedSimVisit(const Matrix& a, const Matrix& b,
+                     const SimTileVisitor& visit,
+                     const BlockedKernelOptions& options = {});
+
 // Number of entries strictly greater than `threshold` in values[0, n) —
-// the rank kernel of EvaluateRanking (4-way unrolled scan).
+// the rank kernel of EvaluateRanking. Dispatched to the active SIMD
+// backend; the count is exact on every backend.
 size_t CountGreater(const float* values, size_t n, float threshold);
 
-// Dot product with four independent accumulators (FMA/ILP friendly). Note
-// the summation order differs from a naive sequential loop, so results can
-// differ from it in the last ulp.
+// Dot product, dispatched to the active SIMD backend. The summation order
+// differs from a naive sequential loop (and between backends), so results
+// can differ from either in the last ulps.
 float DotUnrolled(const float* a, const float* b, size_t n);
 
 }  // namespace daakg

@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd/simd.h"
+
 namespace daakg {
+
+// Elementwise mutators route through the dispatched axpy/scale kernels,
+// which are bit-identical to the scalar loops on every backend (rounding
+// contract in simd/simd.h) — so trainers take the same trajectory whether
+// or not AVX2 is available. Reductions (Dot, norms) stay double-accumulated
+// scalar: vectorizing them would change rounding across backends.
 
 void Vector::Fill(float value) {
   std::fill(data_.begin(), data_.end(), value);
@@ -11,18 +19,20 @@ void Vector::Fill(float value) {
 
 Vector& Vector::operator+=(const Vector& other) {
   DAAKG_CHECK_EQ(dim(), other.dim());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  simd::ActiveOps().axpy(1.0f, other.data_.data(), data_.data(),
+                         data_.size());
   return *this;
 }
 
 Vector& Vector::operator-=(const Vector& other) {
   DAAKG_CHECK_EQ(dim(), other.dim());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  simd::ActiveOps().axpy(-1.0f, other.data_.data(), data_.data(),
+                         data_.size());
   return *this;
 }
 
 Vector& Vector::operator*=(float s) {
-  for (auto& v : data_) v *= s;
+  simd::ActiveOps().scale(data_.data(), data_.size(), s);
   return *this;
 }
 
@@ -33,7 +43,7 @@ Vector& Vector::operator/=(float s) {
 
 void Vector::Axpy(float alpha, const Vector& x) {
   DAAKG_CHECK_EQ(dim(), x.dim());
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x.data_[i];
+  simd::ActiveOps().axpy(alpha, x.data_.data(), data_.data(), data_.size());
 }
 
 void Vector::Hadamard(const Vector& other) {

@@ -511,5 +511,267 @@ TEST(KernelTest, BlockedMatMulNTMatchesNaive) {
   }
 }
 
+TEST(KernelTest, BlockedMatMulNTRowsTouchesOnlyRequestedRows) {
+  Rng rng(18);
+  Matrix a(41, 13), b(23, 13);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+  Matrix full;
+  BlockedMatMulNT(a, b, &full);
+
+  const float kSentinel = -1234.5f;
+  for (bool parallel : {false, true}) {
+    BlockedKernelOptions options;
+    options.parallel = parallel;
+    Matrix out(a.rows(), b.rows());
+    out.Fill(kSentinel);
+    // Two disjoint bands, one of them the ragged final band.
+    BlockedMatMulNTRows(a, b, 5, 17, &out, options);
+    BlockedMatMulNTRows(a, b, 33, 41, &out, options);
+    for (size_t r = 0; r < out.rows(); ++r) {
+      const bool in_band = (r >= 5 && r < 17) || r >= 33;
+      for (size_t c = 0; c < out.cols(); ++c) {
+        if (in_band) {
+          // Band cells must be bitwise what the full product computes.
+          EXPECT_EQ(out(r, c), full(r, c))
+              << "parallel=" << parallel << " r=" << r << " c=" << c;
+        } else {
+          EXPECT_EQ(out(r, c), kSentinel)
+              << "parallel=" << parallel << " r=" << r << " c=" << c;
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelTest, BlockedSimVisitStreamsMatMulCells) {
+  Rng rng(19);
+  Matrix a(27, 17), b(31, 17);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+  Matrix full;
+  BlockedMatMulNT(a, b, &full);
+  for (bool parallel : {false, true}) {
+    BlockedKernelOptions options;
+    options.row_block = 8;
+    options.col_block = 12;
+    options.parallel = parallel;
+    Matrix seen(a.rows(), b.rows());
+    seen.Fill(std::numeric_limits<float>::quiet_NaN());
+    BlockedSimVisit(
+        a, b,
+        [&](size_t r, size_t c0, const float* sims, size_t count) {
+          for (size_t j = 0; j < count; ++j) seen(r, c0 + j) = sims[j];
+        },
+        options);
+    for (size_t r = 0; r < seen.rows(); ++r) {
+      for (size_t c = 0; c < seen.cols(); ++c) {
+        EXPECT_EQ(seen(r, c), full(r, c))
+            << "parallel=" << parallel << " r=" << r << " c=" << c;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SIMD dispatch
+// ---------------------------------------------------------------------------
+
+// Tolerance for reduction kernels across backends: the AVX2 path uses
+// 8-wide FMA accumulation, so dot results may differ from the scalar grid
+// in the last ulps (simd.h rounding contract) but never by more than a few
+// ulps of the accumulated magnitude.
+constexpr float kCrossBackendDotTol = 1e-4f;
+
+TEST(SimdTest, ActiveBackendIsResolvable) {
+  const simd::Ops& ops = simd::ActiveOps();
+  EXPECT_TRUE(ops.backend == simd::Backend::kScalar ||
+              ops.backend == simd::Backend::kAvx2);
+  EXPECT_STREQ(simd::BackendName(ops.backend), ops.name);
+  // kAuto must resolve to the process-wide table.
+  EXPECT_EQ(&simd::Resolve(simd::Choice::kAuto), &ops);
+  EXPECT_EQ(simd::Resolve(simd::Choice::kScalar).backend,
+            simd::Backend::kScalar);
+  if (simd::Avx2Available()) {
+    EXPECT_EQ(simd::Resolve(simd::Choice::kAvx2).backend,
+              simd::Backend::kAvx2);
+  } else {
+    // Unavailable AVX2 must degrade to scalar, never crash.
+    EXPECT_EQ(simd::Resolve(simd::Choice::kAvx2).backend,
+              simd::Backend::kScalar);
+  }
+}
+
+TEST(SimdTest, ScalarKernelsMatchNaive) {
+  Rng rng(40);
+  const simd::Ops& ops = simd::ScalarOps();
+  for (size_t n : {0u, 1u, 3u, 7u, 8u, 15u, 64u, 129u}) {
+    std::vector<float> a(n), b(n), y(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.NextDouble() - 0.5);
+      b[i] = static_cast<float>(rng.NextDouble() - 0.5);
+      y[i] = static_cast<float>(rng.NextDouble() - 0.5);
+    }
+    double naive_dot = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      naive_dot += static_cast<double>(a[i]) * b[i];
+    }
+    EXPECT_NEAR(ops.dot(a.data(), b.data(), n), naive_dot, 1e-4) << "n=" << n;
+
+    std::vector<float> y2 = y;
+    ops.axpy(0.37f, a.data(), y2.data(), n);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y2[i], y[i] + 0.37f * a[i]) << "n=" << n << " i=" << i;
+    }
+    ops.scale(y2.data(), n, 0.5f);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y2[i], (y[i] + 0.37f * a[i]) * 0.5f) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, Dot4MatchesDotPerColumnOnEveryBackend) {
+  Rng rng(41);
+  std::vector<const simd::Ops*> tables = {&simd::ScalarOps()};
+  if (simd::Avx2Available()) tables.push_back(simd::Avx2OpsOrNull());
+  // Sizes cover the 8-wide body, the 4-wide scalar grid and ragged tails.
+  for (size_t n : {1u, 4u, 8u, 11u, 16u, 19u, 64u, 100u}) {
+    std::vector<float> a(n), b0(n), b1(n), b2(n), b3(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.NextDouble() - 0.5);
+      b0[i] = static_cast<float>(rng.NextDouble() - 0.5);
+      b1[i] = static_cast<float>(rng.NextDouble() - 0.5);
+      b2[i] = static_cast<float>(rng.NextDouble() - 0.5);
+      b3[i] = static_cast<float>(rng.NextDouble() - 0.5);
+    }
+    for (const simd::Ops* ops : tables) {
+      float out[4];
+      ops->dot4(a.data(), b0.data(), b1.data(), b2.data(), b3.data(), n, out);
+      // Bitwise, not approximate: the blocked walk relies on the 4-wide and
+      // remainder columns producing identical cells.
+      EXPECT_EQ(out[0], ops->dot(a.data(), b0.data(), n))
+          << ops->name << " n=" << n;
+      EXPECT_EQ(out[1], ops->dot(a.data(), b1.data(), n))
+          << ops->name << " n=" << n;
+      EXPECT_EQ(out[2], ops->dot(a.data(), b2.data(), n))
+          << ops->name << " n=" << n;
+      EXPECT_EQ(out[3], ops->dot(a.data(), b3.data(), n))
+          << ops->name << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, Avx2ReductionsMatchScalarWithinTolerance) {
+  if (!simd::Avx2Available()) {
+    GTEST_SKIP() << "AVX2+FMA not available on this host/build";
+  }
+  Rng rng(42);
+  const simd::Ops& scalar = simd::ScalarOps();
+  const simd::Ops& avx2 = *simd::Avx2OpsOrNull();
+  for (size_t n : {1u, 7u, 8u, 9u, 63u, 64u, 200u}) {
+    std::vector<float> a(n), b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = static_cast<float>(rng.NextDouble() - 0.5);
+      b[i] = static_cast<float>(rng.NextDouble() - 0.5);
+    }
+    EXPECT_NEAR(avx2.dot(a.data(), b.data(), n),
+                scalar.dot(a.data(), b.data(), n), kCrossBackendDotTol)
+        << "n=" << n;
+  }
+}
+
+TEST(SimdTest, ElementwiseKernelsAreBitIdenticalAcrossBackends) {
+  if (!simd::Avx2Available()) {
+    GTEST_SKIP() << "AVX2+FMA not available on this host/build";
+  }
+  Rng rng(43);
+  const simd::Ops& scalar = simd::ScalarOps();
+  const simd::Ops& avx2 = *simd::Avx2OpsOrNull();
+  for (size_t n : {1u, 7u, 8u, 9u, 31u, 64u, 1000u}) {
+    std::vector<float> x(n), y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = static_cast<float>(rng.NextGaussian());
+      y[i] = static_cast<float>(rng.NextGaussian());
+    }
+    for (float alpha : {1.0f, -1.0f, 0.37f, -2.5e-3f}) {
+      std::vector<float> ys = y, yv = y;
+      scalar.axpy(alpha, x.data(), ys.data(), n);
+      avx2.axpy(alpha, x.data(), yv.data(), n);
+      // The rounding contract promises bit equality here — training must
+      // not diverge across backends.
+      EXPECT_EQ(ys, yv) << "alpha=" << alpha << " n=" << n;
+      scalar.scale(ys.data(), n, alpha);
+      avx2.scale(yv.data(), n, alpha);
+      EXPECT_EQ(ys, yv) << "alpha=" << alpha << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdTest, CountGreaterExactOnEveryBackend) {
+  Rng rng(44);
+  std::vector<const simd::Ops*> tables = {&simd::ScalarOps()};
+  if (simd::Avx2Available()) tables.push_back(simd::Avx2OpsOrNull());
+  for (size_t n : {0u, 1u, 8u, 9u, 100u, 1023u}) {
+    std::vector<float> values(n);
+    for (auto& v : values) v = static_cast<float>(rng.NextDouble());
+    values.insert(values.end(), {0.5f, 0.5f});  // exact-tie cells
+    const float threshold = 0.5f;
+    size_t naive = 0;
+    for (float v : values) naive += v > threshold;
+    for (const simd::Ops* ops : tables) {
+      EXPECT_EQ(ops->count_greater(values.data(), values.size(), threshold),
+                naive)
+          << ops->name << " n=" << n;
+    }
+  }
+}
+
+// Cross-backend determinism of the blocked kernels: per-backend similarity
+// values agree within an epsilon bound, and the resulting top-K index sets
+// are identical (descending score, ties toward the lower index) on data
+// without engineered near-ties.
+TEST(SimdTest, BlockedKernelsBackendInvariant) {
+  if (!simd::Avx2Available()) {
+    GTEST_SKIP() << "AVX2+FMA not available on this host/build";
+  }
+  Rng rng(45);
+  Matrix a(57, 24), b(49, 24);
+  a.InitGaussian(&rng, 1.0f);
+  b.InitGaussian(&rng, 1.0f);
+
+  BlockedKernelOptions scalar_opts, avx2_opts;
+  scalar_opts.backend = simd::Choice::kScalar;
+  avx2_opts.backend = simd::Choice::kAvx2;
+
+  Matrix out_scalar, out_avx2;
+  BlockedMatMulNT(a, b, &out_scalar, scalar_opts);
+  BlockedMatMulNT(a, b, &out_avx2, avx2_opts);
+  for (size_t r = 0; r < out_scalar.rows(); ++r) {
+    for (size_t c = 0; c < out_scalar.cols(); ++c) {
+      EXPECT_NEAR(out_scalar(r, c), out_avx2(r, c), kCrossBackendDotTol)
+          << "r=" << r << " c=" << c;
+    }
+  }
+
+  SimTopK topk_scalar = BlockedSimTopK(a, b, 7, 5, scalar_opts);
+  SimTopK topk_avx2 = BlockedSimTopK(a, b, 7, 5, avx2_opts);
+  for (size_t r = 0; r < topk_scalar.row_topk.size(); ++r) {
+    ASSERT_EQ(topk_scalar.row_topk[r].size(), topk_avx2.row_topk[r].size());
+    for (size_t i = 0; i < topk_scalar.row_topk[r].size(); ++i) {
+      EXPECT_EQ(topk_scalar.row_topk[r][i].index,
+                topk_avx2.row_topk[r][i].index)
+          << "r=" << r << " i=" << i;
+    }
+  }
+  for (size_t c = 0; c < topk_scalar.col_topk.size(); ++c) {
+    ASSERT_EQ(topk_scalar.col_topk[c].size(), topk_avx2.col_topk[c].size());
+    for (size_t i = 0; i < topk_scalar.col_topk[c].size(); ++i) {
+      EXPECT_EQ(topk_scalar.col_topk[c][i].index,
+                topk_avx2.col_topk[c][i].index)
+          << "c=" << c << " i=" << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace daakg
