@@ -73,13 +73,18 @@ BaselineResult RunDaakg(const AlignmentTask& task, const DaakgConfig& config,
 BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   constexpr const char kMetricsFlag[] = "--metrics_json=";
+  constexpr const char kIndexFlag[] = "--index_json=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kMetricsFlag, sizeof(kMetricsFlag) - 1) == 0) {
       args.metrics_json = argv[i] + sizeof(kMetricsFlag) - 1;
       continue;
     }
-    LOG_FATAL << "unknown argument: " << argv[i]
-              << " (usage: " << argv[0] << " [--metrics_json=<path>])";
+    if (std::strncmp(argv[i], kIndexFlag, sizeof(kIndexFlag) - 1) == 0) {
+      args.index_json = argv[i] + sizeof(kIndexFlag) - 1;
+      continue;
+    }
+    LOG_FATAL << "unknown argument: " << argv[i] << " (usage: " << argv[0]
+              << " [--metrics_json=<path>] [--index_json=<path>])";
   }
   return args;
 }

@@ -39,8 +39,12 @@ DaakgConfig DaakgBenchConfig(const std::string& model, const BenchEnv& env);
 // Command-line flags shared by the bench mains:
 //   --metrics_json=<path>   dump the global metrics registry as JSON on
 //                           MaybeDumpMetrics()
+//   --index_json=<path>     fig6_pool_recall only: write the candidate-index
+//                           backend sweep (recall vs exact + speedup per
+//                           (nlist, nprobe) point) as JSON
 struct BenchArgs {
   std::string metrics_json;
+  std::string index_json;
 };
 
 // Parses the flags above; unknown arguments abort with a usage message.

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Tier-1 verification, three times over: a plain release build, an
 # ASan+UBSan build, and a TSan build focused on the concurrent paths
-# (thread pool, blocked kernels, pool generation, selection). A SIMD
-# backend matrix leg then re-runs the kernel-sensitive subset under
+# (thread pool, blocked kernels, pool generation, selection, IVF k-means).
+# A SIMD backend matrix leg then re-runs the kernel-sensitive subset under
 # DAAKG_SIMD=scalar and the dispatched default to pin down cross-backend
-# determinism of pool, matching and selection outputs.
+# determinism of pool, matching and selection outputs, and a candidate-index
+# matrix leg re-runs the index subset under DAAKG_INDEX=exact and =ivf.
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -30,6 +31,18 @@ for backend in scalar ""; do
   DAAKG_SIMD="$backend" ./build/tests/align_test --gtest_filter="$ALIGN_FILTER"
 done
 
+echo "== candidate-index backend matrix (exact vs ivf) =="
+# The process-wide DAAKG_INDEX override only steers kAuto call sites; the
+# index tests pin explicit backends where bit-parity is asserted, so the
+# whole suite must hold under either override (plus pool parity, whose
+# default-config generator follows the override).
+for index_backend in exact ivf; do
+  echo "-- DAAKG_INDEX=$index_backend --"
+  DAAKG_INDEX="$index_backend" ./build/tests/index_test
+  DAAKG_INDEX="$index_backend" ./build/tests/active_test \
+    --gtest_filter='ActiveTest.GeneratedPoolMatchesBruteForceMutualTopN:ActiveTest.RepeatedGenerateReusesCachedIndex:ActiveTest.IvfPool*'
+done
+
 echo "== sanitizer build (ASan+UBSan) =="
 cmake -B build-asan -S . -DDAAKG_SANITIZE=ON
 cmake --build build-asan -j "$JOBS"
@@ -37,11 +50,13 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== sanitizer build (TSan, concurrency-heavy tests) =="
 cmake -B build-tsan -S . -DDAAKG_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target common_test tensor_test active_test infer_test align_test
+cmake --build build-tsan -j "$JOBS" --target common_test tensor_test active_test infer_test align_test index_test
 ./build-tsan/tests/common_test --gtest_filter='ThreadPoolTest.*'
 ./build-tsan/tests/tensor_test --gtest_filter='KernelTest.*:TopKAccumulatorTest.*:SimdTest.*'
 ./build-tsan/tests/active_test --gtest_filter='ActiveTest.GeneratedPoolMatchesBruteForceMutualTopN:ActiveTest.RepeatedSelectionIsDeterministic'
 ./build-tsan/tests/infer_test --gtest_filter='InferTest.PowerFromEveryNodeConcurrently'
 ./build-tsan/tests/align_test --gtest_filter='JointModelTest.Incremental*:MetricsTest.Streaming*'
+# Parallel k-means assignment + sharded IVF queries (row-parallel writers).
+./build-tsan/tests/index_test --gtest_filter='IvfIndexTest.*:ExactIndexTest.QueryTopKMatchesBlockedSimTopK:ExactIndexTest.GreedyMatchingParity'
 
 echo "ci.sh: all green"

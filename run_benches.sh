@@ -9,6 +9,10 @@ for b in table2_datasets table6_inference_accuracy fig6_pool_recall fig7_partiti
     ./build/bench/$b \
       --benchmark_out=/root/repo/BENCH_kernels.json \
       --benchmark_out_format=json
+  elif [ "$b" = "fig6_pool_recall" ]; then
+    # Also record the candidate-index backend sweep (IVF recall vs exact and
+    # speedup per (nlist, nprobe) point) for the index acceptance check.
+    ./build/bench/$b --index_json=/root/repo/BENCH_index.json
   else
     ./build/bench/$b
   fi

@@ -81,7 +81,47 @@ Vector PoolGenerator::Signature(int side, EntityId e) const {
   return Concat(rel_part, cls_part);
 }
 
+void PoolGenerator::EnsureIndex() const {
+  if (index_ != nullptr) return;
+  static obs::Histogram* sig_timing = obs::GlobalMetrics().GetHistogram(
+      "daakg.active.pool_signature_seconds");
+  obs::ScopedTimer span(sig_timing);
+  const size_t n1 = task_->kg1.num_entities();
+  const size_t n2 = task_->kg2.num_entities();
+  const size_t sig_dim = 2 * model_->kg1_model()->dim();
+
+  // Signatures (parallel). The KG1 side is unit-normalized here; the KG2
+  // side is normalized inside the index build (config.normalize) with the
+  // exact same arithmetic, so either placement yields bitwise-equal rows.
+  queries_ = Matrix(n1, sig_dim);
+  Matrix sig2(n2, sig_dim);
+  ThreadPool& pool = GlobalThreadPool();
+  pool.ParallelFor(n1, [this](size_t e) {
+    Vector s = Signature(1, static_cast<EntityId>(e));
+    s.Normalize();
+    queries_.SetRow(e, s);
+  });
+  pool.ParallelFor(n2, [this, &sig2](size_t e) {
+    sig2.SetRow(e, Signature(2, static_cast<EntityId>(e)));
+  });
+
+  CandidateIndexConfig index_cfg = config_.index;
+  index_cfg.normalize = true;
+  auto built = CandidateIndex::Build(std::move(sig2), index_cfg);
+  DAAKG_CHECK(built.ok()) << built.status();
+  index_ = std::move(built.value());
+}
+
+const CandidateIndex& PoolGenerator::index() const {
+  EnsureIndex();
+  return *index_;
+}
+
 std::vector<ElementPair> PoolGenerator::Generate() const {
+  return Generate(config_.top_n);
+}
+
+std::vector<ElementPair> PoolGenerator::Generate(size_t top_n) const {
   static obs::Histogram* build_timing =
       obs::GlobalMetrics().GetHistogram("daakg.active.pool_build_seconds");
   static obs::Counter* candidates =
@@ -89,32 +129,17 @@ std::vector<ElementPair> PoolGenerator::Generate() const {
   static obs::Gauge* pool_size =
       obs::GlobalMetrics().GetGauge("daakg.active.pool_size");
   obs::ScopedTimer span(build_timing);
+  EnsureIndex();
   const size_t n1 = task_->kg1.num_entities();
   const size_t n2 = task_->kg2.num_entities();
-  const size_t n = std::min(config_.top_n, n2);
+  const size_t n = std::min(top_n, n2);
 
-  // Signatures (parallel); then unit-normalize for cosine via dot.
-  const size_t sig_dim = 2 * model_->kg1_model()->dim();
-  Matrix sig1(n1, sig_dim);
-  Matrix sig2(n2, sig_dim);
-  ThreadPool& pool = GlobalThreadPool();
-  pool.ParallelFor(n1, [this, &sig1](size_t e) {
-    Vector s = Signature(1, static_cast<EntityId>(e));
-    s.Normalize();
-    sig1.SetRow(e, s);
-  });
-  pool.ParallelFor(n2, [this, &sig2](size_t e) {
-    Vector s = Signature(2, static_cast<EntityId>(e));
-    s.Normalize();
-    sig2.SetRow(e, s);
-  });
-
-  // Top-N lists in both directions from one streamed pass over the
-  // similarity matrix: the blocked kernel keeps per-row and per-column
-  // top-N state simultaneously, so neither the n1 x n2 row buffer nor its
-  // transpose is ever materialized.
-  const size_t n_rev = std::min(config_.top_n, n1);
-  SimTopK topk = BlockedSimTopK(sig1, sig2, n, n_rev);
+  // Top-N lists in both directions from one pass through the index: the
+  // exact backend streams the similarity matrix with per-row and
+  // per-column top-N state (neither the n1 x n2 buffer nor its transpose
+  // is materialized); the IVF backend scores only the probed lists.
+  const size_t n_rev = std::min(top_n, n1);
+  SimTopK topk = index_->QueryTopK(queries_, n, n_rev);
   std::vector<std::unordered_set<uint32_t>> top2(n2);
   for (size_t c = 0; c < n2; ++c) {
     for (const ScoredIndex& e : topk.col_topk[c]) top2[c].insert(e.index);

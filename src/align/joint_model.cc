@@ -7,6 +7,7 @@
 
 #include "align/losses.h"
 #include "common/thread_pool.h"
+#include "index/candidate_index.h"
 #include "obs/scoped_timer.h"
 #include "tensor/ops.h"
 #include "tensor/topk.h"
@@ -271,23 +272,32 @@ void JointAlignmentModel::RefreshEntitySimFromUnits(const Matrix& unit1,
         }
         bi = bj;
       }
-      // Patch moved KG2 columns in the rows that kept their band. The
-      // dispatched dot is bitwise identical to the band kernel's cells
-      // within a backend, so patched and band-refreshed cells agree
-      // exactly.
+      // Patch moved KG2 columns in the rows that kept their band, through
+      // the candidate index's exact-scoring primitive: an ExactIndex over
+      // unit2 scores exactly the requested rows with the dispatched dot,
+      // which is bitwise identical to the band kernel's cells within a
+      // backend, so patched and band-refreshed cells agree exactly.
       if (moved_cols > 0) {
         std::vector<uint32_t> patch_cols;
         patch_cols.reserve(moved_cols);
         for (size_t c = 0; c < n2; ++c) {
           if (col_moved[c]) patch_cols.push_back(static_cast<uint32_t>(c));
         }
-        const simd::Ops& ops = simd::ActiveOps();
-        pool.ParallelFor(n1, [&](size_t r) {
-          if (band_dirty[r / band]) return;
-          float* row = ent_sim_.RowData(r);
-          const float* ur = unit1.RowData(r);
-          for (uint32_t c : patch_cols) {
-            row[c] = ops.dot(ur, unit2.RowData(c), dim);
+        CandidateIndexConfig patch_cfg;
+        patch_cfg.backend = IndexChoice::kExact;
+        auto col_index = CandidateIndex::Build(unit2, patch_cfg);
+        DAAKG_CHECK(col_index.ok()) << col_index.status();
+        const CandidateIndex& index = **col_index;
+        pool.ParallelForShards(n1, [&](size_t /*shard*/, size_t begin,
+                                       size_t end) {
+          std::vector<float> scores(patch_cols.size());
+          for (size_t r = begin; r < end; ++r) {
+            if (band_dirty[r / band]) continue;
+            index.ScoreRows(unit1.RowData(r), patch_cols, scores.data());
+            float* row = ent_sim_.RowData(r);
+            for (size_t j = 0; j < patch_cols.size(); ++j) {
+              row[patch_cols[j]] = scores[j];
+            }
           }
         });
         for (uint32_t c : patch_cols) {
@@ -308,15 +318,14 @@ void JointAlignmentModel::RefreshEntitySimFromUnits(const Matrix& unit1,
   }
 
   // Full refresh: first call, incremental disabled, shape change, or too
-  // much movement for the incremental path to pay off.
+  // much movement for the incremental path to pay off. The unit snapshots
+  // are stored unconditionally — unit_mapped1()/unit_repr2() consumers
+  // (index-based matching at scale) need them even when the incremental
+  // policy is off; have_prev_units_ still gates the incremental path.
   BlockedMatMulNT(unit1, unit2, &ent_sim_);
-  if (config_.incremental_ent_sim) {
-    prev_unit1_ = unit1;
-    prev_unit2_ = unit2;
-    have_prev_units_ = true;
-  } else {
-    have_prev_units_ = false;
-  }
+  prev_unit1_ = unit1;
+  prev_unit2_ = unit2;
+  have_prev_units_ = config_.incremental_ent_sim;
   ent_sim_refresh_stats_.rows_refreshed = n1;
   full_refreshes->Increment();
   rows_refreshed_total->Increment(n1);

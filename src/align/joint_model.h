@@ -109,6 +109,17 @@ class JointAlignmentModel {
   const Matrix& relation_sim() const { return rel_sim_; }
   const Matrix& class_sim() const { return cls_sim_; }
 
+  // Unit-row snapshots the cached ent_sim_ cells were computed against:
+  // row r of unit_mapped1() is the unit-normalized mapped KG1 entity row,
+  // row c of unit_repr2() the unit-normalized KG2 entity row. Exact after a
+  // full refresh; under the incremental policy each row is within
+  // ent_sim_refresh_threshold of the current representation. Valid after
+  // RefreshCaches(). These are the rows index-based entity matching builds
+  // its CandidateIndex from (reusing the snapshots the incremental refresh
+  // already keeps).
+  const Matrix& unit_mapped1() const { return prev_unit1_; }
+  const Matrix& unit_repr2() const { return prev_unit2_; }
+
   // What the last ent_sim_ refresh actually recomputed.
   struct EntSimRefreshStats {
     bool incremental = false;   // false: full recompute (first call,

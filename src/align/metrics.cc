@@ -6,7 +6,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
-#include "tensor/simd/simd.h"
+#include "index/candidate_index.h"
 #include "tensor/topk.h"
 
 namespace daakg {
@@ -44,10 +44,27 @@ RankingMetrics EvaluateRankingStreaming(
   RankingMetrics m;
   if (test_pairs.empty()) return m;
   DAAKG_CHECK_EQ(a.cols(), b.cols());
+  // Pin the exact backend: this signature's bit-identity contract must hold
+  // regardless of any process-wide DAAKG_INDEX override.
+  CandidateIndexConfig cfg;
+  cfg.backend = IndexChoice::kExact;
+  cfg.kernel = options;
+  auto index = CandidateIndex::Build(b, cfg);
+  DAAKG_CHECK(index.ok()) << index.status();
+  return EvaluateRankingStreaming(**index, a, test_pairs);
+}
+
+RankingMetrics EvaluateRankingStreaming(
+    const CandidateIndex& index, const Matrix& a,
+    const std::vector<std::pair<uint32_t, uint32_t>>& test_pairs) {
+  RankingMetrics m;
+  if (test_pairs.empty()) return m;
+  const Matrix& b = index.base();
+  DAAKG_CHECK_EQ(a.cols(), b.cols());
   const size_t num_queries = test_pairs.size();
   constexpr size_t kNone = std::numeric_limits<size_t>::max();
 
-  // Compact the distinct query rows so the tile walk only touches them.
+  // Compact the distinct query rows so the index only scans them.
   std::vector<size_t> compact_of(a.rows(), kNone);
   std::vector<uint32_t> unique_rows;
   for (const auto& [first, second] : test_pairs) {
@@ -59,36 +76,23 @@ RankingMetrics EvaluateRankingStreaming(
     }
   }
   Matrix aq(unique_rows.size(), a.cols());
-  std::vector<std::vector<size_t>> queries_of(unique_rows.size());
   for (size_t i = 0; i < unique_rows.size(); ++i) {
     std::copy_n(a.RowData(unique_rows[i]), a.cols(), aq.RowData(i));
   }
+
+  // Targets via the index's exact-scoring primitive — the same dispatched
+  // dot that is bitwise identical to the exact backend's tile cells, so
+  // the target equals the value the materialized path reads out of its
+  // row.
+  std::vector<RankQuery> rank_queries(num_queries);
   for (size_t q = 0; q < num_queries; ++q) {
-    queries_of[compact_of[test_pairs[q].first]].push_back(q);
+    rank_queries[q].query_row =
+        static_cast<uint32_t>(compact_of[test_pairs[q].first]);
+    rank_queries[q].target = index.Score(aq.RowData(rank_queries[q].query_row),
+                                         test_pairs[q].second);
   }
 
-  // Targets via the dispatched dot, which is bitwise identical to the tile
-  // cells the walk below produces for the same backend — exactly the value
-  // the materialized path reads out of its row.
-  const simd::Ops& ops = simd::Resolve(options.backend);
-  std::vector<float> target(num_queries);
-  for (size_t q = 0; q < num_queries; ++q) {
-    target[q] = ops.dot(a.RowData(test_pairs[q].first),
-                        b.RowData(test_pairs[q].second), a.cols());
-  }
-
-  // Strictly-greater counts accumulate tile by tile. All tiles of one
-  // compact row come from a single shard, so each greater[q] has exactly
-  // one writer.
-  std::vector<size_t> greater(num_queries, 0);
-  BlockedSimVisit(
-      aq, b,
-      [&](size_t r, size_t /*c0*/, const float* sims, size_t count) {
-        for (size_t q : queries_of[r]) {
-          greater[q] += ops.count_greater(sims, count, target[q]);
-        }
-      },
-      options);
+  const std::vector<size_t> greater = index.CountAbove(aq, rank_queries);
 
   // Fold ranks in the original test-pair order (same summation order as
   // the materialized path).
@@ -105,6 +109,32 @@ RankingMetrics EvaluateRankingStreaming(
   m.mrr /= n;
   return m;
 }
+
+namespace {
+
+// Shared tail of the greedy one-to-one matching: sort by score (descending;
+// the sort sees the cells in row-major order, so equal scores resolve the
+// same way for every producer of that order) and sweep.
+std::vector<std::pair<uint32_t, uint32_t>> GreedySweep(
+    std::vector<std::tuple<float, uint32_t, uint32_t>>&& cells, size_t rows,
+    size_t cols) {
+  std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
+    return std::get<0>(a) > std::get<0>(b);
+  });
+  std::vector<bool> used_row(rows, false);
+  std::vector<bool> used_col(cols, false);
+  std::vector<std::pair<uint32_t, uint32_t>> matches;
+  for (const auto& [score, r, c] : cells) {
+    (void)score;
+    if (used_row[r] || used_col[c]) continue;
+    used_row[r] = true;
+    used_col[c] = true;
+    matches.emplace_back(r, c);
+  }
+  return matches;
+}
+
+}  // namespace
 
 std::vector<std::pair<uint32_t, uint32_t>> GreedyOneToOneMatches(
     const Matrix& sim, float threshold) {
@@ -137,20 +167,26 @@ std::vector<std::pair<uint32_t, uint32_t>> GreedyOneToOneMatches(
   for (auto& shard : shard_cells) {
     cells.insert(cells.end(), shard.begin(), shard.end());
   }
-  std::sort(cells.begin(), cells.end(), [](const auto& a, const auto& b) {
-    return std::get<0>(a) > std::get<0>(b);
-  });
-  std::vector<bool> used_row(sim.rows(), false);
-  std::vector<bool> used_col(sim.cols(), false);
-  std::vector<std::pair<uint32_t, uint32_t>> matches;
-  for (const auto& [score, r, c] : cells) {
-    (void)score;
-    if (used_row[r] || used_col[c]) continue;
-    used_row[r] = true;
-    used_col[c] = true;
-    matches.emplace_back(r, c);
+  return GreedySweep(std::move(cells), sim.rows(), sim.cols());
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> GreedyOneToOneMatches(
+    const CandidateIndex& index, const Matrix& queries, float threshold) {
+  // QueryAbove returns each row's qualifying cells in ascending base-row
+  // order; concatenating rows in order reproduces the row-major cell
+  // sequence of the matrix variant (bitwise, for an exact backend), so the
+  // shared sweep behaves identically.
+  const auto rows = index.QueryAbove(queries, threshold);
+  size_t total = 0;
+  for (const auto& row : rows) total += row.size();
+  std::vector<std::tuple<float, uint32_t, uint32_t>> cells;
+  cells.reserve(total);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (const ScoredIndex& e : rows[r]) {
+      cells.emplace_back(e.score, static_cast<uint32_t>(r), e.index);
+    }
   }
-  return matches;
+  return GreedySweep(std::move(cells), queries.rows(), index.base().rows());
 }
 
 PrfMetrics EvaluateGreedyMatching(

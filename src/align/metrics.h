@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "index/candidate_index.h"
 #include "tensor/matrix.h"
 #include "tensor/topk.h"
 
@@ -38,16 +39,27 @@ RankingMetrics EvaluateRanking(
 
 // Streaming variant: computes the same metrics directly from the embedding
 // matrices `a` (|X1| x dim) and `b` (|X2| x dim) without materializing the
-// |X1| x |X2| similarity matrix — only the rows named by `test_pairs` are
-// streamed, tile by tile, through the blocked kernel. Bit-identical to
-// EvaluateRanking on BlockedMatMulNT(a, b) under the same options: tile
-// cells and the target cell come from the same dispatched kernels, and
-// per-query ranks are folded in the original test-pair order. Peak extra
-// memory is O(unique_rows * dim), not O(|X1| * |X2|).
+// |X1| x |X2| similarity matrix — the query path runs through an ExactIndex
+// over `b` (pinned exact regardless of DAAKG_INDEX, preserving this
+// signature's contract). Bit-identical to EvaluateRanking on
+// BlockedMatMulNT(a, b) under the same options: tile cells and the target
+// cell come from the same dispatched kernels, and per-query ranks are
+// folded in the original test-pair order. Peak extra memory is
+// O(|X2| * dim + unique_rows * dim), not O(|X1| * |X2|).
 RankingMetrics EvaluateRankingStreaming(
     const Matrix& a, const Matrix& b,
     const std::vector<std::pair<uint32_t, uint32_t>>& test_pairs,
     const BlockedKernelOptions& options = {});
+
+// Index-based variant: ranks each test pair's target among the candidate
+// scores the index produces for query row `first` of `a`. With an exact
+// backend this equals the materialized path bit-for-bit; with an IVF
+// backend only probed rows can outrank the target, so ranks are optimistic
+// in proportion to the index's recall. `index.base()` must hold the rows of
+// `b` (pairs' `second` indexes into it).
+RankingMetrics EvaluateRankingStreaming(
+    const CandidateIndex& index, const Matrix& a,
+    const std::vector<std::pair<uint32_t, uint32_t>>& test_pairs);
 
 // Greedy one-to-one matching: repeatedly takes the highest-similarity
 // unused (row, col) pair with similarity >= threshold, then scores the
@@ -62,6 +74,15 @@ PrfMetrics EvaluateGreedyMatching(
 // Convenience: the greedy one-to-one predicted pairs themselves.
 std::vector<std::pair<uint32_t, uint32_t>> GreedyOneToOneMatches(
     const Matrix& sim, float threshold);
+
+// Index-based variant: candidate cells come from index.QueryAbove(queries,
+// threshold) instead of a materialized matrix. With an exact backend the
+// cell sequence matches the matrix scan's row-major order bit-for-bit, so
+// the result is identical to GreedyOneToOneMatches(queries * base^T, thr);
+// an IVF backend restricts candidates to probed lists (scores of surviving
+// cells stay exact).
+std::vector<std::pair<uint32_t, uint32_t>> GreedyOneToOneMatches(
+    const CandidateIndex& index, const Matrix& queries, float threshold);
 
 }  // namespace daakg
 

@@ -102,6 +102,7 @@ Status DaakgConfig::Validate() const {
   if (match_threshold < 0.0f || match_threshold > 1.0f) {
     return InvalidArgumentError("match_threshold must be in [0, 1]");
   }
+  DAAKG_RETURN_IF_ERROR(index.Validate());
   return Status::Ok();
 }
 
@@ -270,9 +271,27 @@ EvalResult DaakgAligner::Evaluate() {
 DaakgAligner::Alignment DaakgAligner::ExtractAlignment() {
   if (!joint_->caches_ready()) joint_->RefreshCaches();
   Alignment out;
-  for (const auto& [a, b] :
-       GreedyOneToOneMatches(joint_->entity_sim(), config_.match_threshold)) {
-    out.entities.emplace_back(a, b);
+  // Entity matching goes through the candidate index when an IVF backend is
+  // in force and the base is large enough to benefit; otherwise the cached
+  // similarity matrix is swept directly (bit-identical to the pre-index
+  // path). Relation/class matrices are schema-sized — always direct.
+  bool entities_done = false;
+  if (ResolveIndexBackend(config_.index.backend) == IndexBackendKind::kIvf &&
+      joint_->unit_repr2().rows() >= config_.index.min_rows_for_ann) {
+    auto index = CandidateIndex::Build(joint_->unit_repr2(), config_.index);
+    DAAKG_CHECK(index.ok()) << index.status();
+    for (const auto& [a, b] :
+         GreedyOneToOneMatches(**index, joint_->unit_mapped1(),
+                               config_.match_threshold)) {
+      out.entities.emplace_back(a, b);
+    }
+    entities_done = true;
+  }
+  if (!entities_done) {
+    for (const auto& [a, b] : GreedyOneToOneMatches(joint_->entity_sim(),
+                                                    config_.match_threshold)) {
+      out.entities.emplace_back(a, b);
+    }
   }
   for (const auto& [a, b] : GreedyOneToOneMatches(joint_->relation_sim(),
                                                   config_.match_threshold)) {

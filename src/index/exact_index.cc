@@ -1,0 +1,105 @@
+// ExactIndex: the CandidateIndex adapter over the blocked streaming
+// kernels. Every query method is a direct delegation to BlockedSimTopK /
+// BlockedSimVisit under the configured kernel options, so outputs are
+// bit-identical to the pre-index code paths that called those kernels
+// directly (the parity tests in tests/index_test.cc pin this down).
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "index/candidate_index.h"
+#include "index/internal.h"
+#include "tensor/simd/simd.h"
+#include "tensor/topk.h"
+
+namespace daakg {
+namespace index_internal {
+namespace {
+
+class ExactIndex final : public CandidateIndex {
+ public:
+  ExactIndex(Matrix base, const CandidateIndexConfig& config)
+      : CandidateIndex(std::move(base), config) {
+    build_stats_.backend = IndexBackendKind::kExact;
+  }
+
+  SimTopK QueryTopK(const Matrix& queries, size_t row_k,
+                    size_t col_k) const override {
+    WallTimer timer;
+    SimTopK out = BlockedSimTopK(queries, base_, row_k, col_k, config_.kernel);
+    const uint64_t cells =
+        static_cast<uint64_t>(queries.rows()) * base_.rows();
+    RecordQuery(cells, cells, timer.ElapsedSeconds());
+    uint64_t candidates = 0;
+    for (const auto& row : out.row_topk) candidates += row.size();
+    for (const auto& col : out.col_topk) candidates += col.size();
+    RecordCandidates(candidates);
+    return out;
+  }
+
+  std::vector<std::vector<ScoredIndex>> QueryAbove(
+      const Matrix& queries, float threshold) const override {
+    WallTimer timer;
+    std::vector<std::vector<ScoredIndex>> out(queries.rows());
+    // All tiles of one query row arrive from a single shard in ascending
+    // column order, so each out[r] is built in ascending base-row order
+    // with no synchronization.
+    BlockedSimVisit(
+        queries, base_,
+        [&out, threshold](size_t r, size_t c0, const float* sims,
+                          size_t count) {
+          auto& row = out[r];
+          for (size_t i = 0; i < count; ++i) {
+            if (sims[i] >= threshold) {
+              row.push_back(
+                  ScoredIndex{static_cast<uint32_t>(c0 + i), sims[i]});
+            }
+          }
+        },
+        config_.kernel);
+    const uint64_t cells =
+        static_cast<uint64_t>(queries.rows()) * base_.rows();
+    RecordQuery(cells, cells, timer.ElapsedSeconds());
+    return out;
+  }
+
+  std::vector<size_t> CountAbove(
+      const Matrix& queries,
+      const std::vector<RankQuery>& rank_queries) const override {
+    WallTimer timer;
+    std::vector<size_t> greater(rank_queries.size(), 0);
+    std::vector<std::vector<size_t>> of_row(queries.rows());
+    for (size_t i = 0; i < rank_queries.size(); ++i) {
+      of_row[rank_queries[i].query_row].push_back(i);
+    }
+    const simd::Ops& ops = simd::Resolve(config_.kernel.backend);
+    // Same single-writer structure as QueryAbove: every greater[i] is only
+    // touched by the shard owning query row rank_queries[i].query_row.
+    BlockedSimVisit(
+        queries, base_,
+        [&](size_t r, size_t /*c0*/, const float* sims, size_t count) {
+          for (size_t i : of_row[r]) {
+            greater[i] +=
+                ops.count_greater(sims, count, rank_queries[i].target);
+          }
+        },
+        config_.kernel);
+    const uint64_t cells =
+        static_cast<uint64_t>(queries.rows()) * base_.rows();
+    RecordQuery(cells, cells, timer.ElapsedSeconds());
+    return greater;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CandidateIndex> MakeExactIndex(
+    Matrix base, const CandidateIndexConfig& config) {
+  return std::make_unique<ExactIndex>(std::move(base), config);
+}
+
+}  // namespace index_internal
+}  // namespace daakg

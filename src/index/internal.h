@@ -1,0 +1,29 @@
+#ifndef DAAKG_INDEX_INTERNAL_H_
+#define DAAKG_INDEX_INTERNAL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "index/candidate_index.h"
+
+namespace daakg {
+namespace index_internal {
+
+// Backend factories (defined in exact_index.cc / ivf_index.cc). `base` is
+// already validated non-empty; normalization per config happens inside.
+std::unique_ptr<CandidateIndex> MakeExactIndex(
+    Matrix base, const CandidateIndexConfig& config);
+std::unique_ptr<CandidateIndex> MakeIvfIndex(
+    Matrix base, const CandidateIndexConfig& config);
+
+// daakg.index.* query instrumentation shared by the backends: counts one
+// query batch of `scored_cells` exactly-scored cells out of `total_cells`
+// possible ones and updates the probed-fraction gauge.
+void RecordQuery(uint64_t scored_cells, uint64_t total_cells, double seconds);
+// Counts candidate entries returned by QueryTopK.
+void RecordCandidates(uint64_t count);
+
+}  // namespace index_internal
+}  // namespace daakg
+
+#endif  // DAAKG_INDEX_INTERNAL_H_

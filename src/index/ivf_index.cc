@@ -1,0 +1,364 @@
+// IvfIndex: IVF-style coarse quantizer over unit-normalized rows.
+//
+// Build: spherical k-means (assignment by maximum dot against unit
+// centroids, double-accumulated centroid updates, unit-renormalized each
+// iteration) partitions the base rows into `nlist` inverted lists. The
+// assignment pass is row-parallel; the centroid update folds rows
+// sequentially in row order, so the built index is identical whether or not
+// the pool parallelized the assignments — and identical across rebuilds
+// with the same seed (k-means++-free: init samples rows via the seeded
+// Rng).
+//
+// Query: each query row probes its `nprobe` most similar centroids and
+// exactly re-scores every member row of those lists through the same
+// dispatched dot/dot4 kernels the blocked exact pass uses — within a SIMD
+// backend, dot(q, b_c) is bitwise identical to the tile cells of
+// BlockedSimTopK (rounding contract in tensor/simd/simd.h), so a candidate
+// the IVF pass returns carries exactly the score the exact pass would have
+// given it. Only candidate *recall* is approximate.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "index/candidate_index.h"
+#include "index/internal.h"
+#include "tensor/simd/simd.h"
+#include "tensor/topk.h"
+
+namespace daakg {
+namespace index_internal {
+namespace {
+
+class IvfIndex final : public CandidateIndex {
+ public:
+  IvfIndex(Matrix base, const CandidateIndexConfig& config)
+      : CandidateIndex(std::move(base), config) {
+    build_stats_.backend = IndexBackendKind::kIvf;
+    BuildClusters();
+    build_stats_.nlist = nlist_;
+  }
+
+  SimTopK QueryTopK(const Matrix& queries, size_t row_k,
+                    size_t col_k) const override {
+    WallTimer timer;
+    const size_t nq = queries.rows();
+    const size_t nb = base_.rows();
+    const size_t dim = base_.cols();
+    SimTopK out;
+    out.row_topk.resize(nq);
+    out.col_topk.resize(col_k > 0 ? nb : 0);
+    if (nq == 0) return out;
+
+    ThreadPool& pool = GlobalThreadPool();
+    const size_t num_shards =
+        config_.kernel.parallel ? std::min(nq, pool.num_threads()) : 1;
+    // Per-shard column accumulators, merged in shard order after the pass
+    // (same structure as BlockedSimTopK's column state).
+    std::vector<std::vector<TopKAccumulator>> shard_cols(
+        std::max<size_t>(num_shards, 1));
+    if (col_k > 0) {
+      for (auto& cols : shard_cols) {
+        cols.assign(nb, TopKAccumulator(col_k));
+      }
+    }
+    std::vector<uint64_t> shard_scored(std::max<size_t>(num_shards, 1), 0);
+    const simd::Ops& ops = simd::Resolve(config_.kernel.backend);
+
+    auto run_shard = [&](size_t shard, size_t begin, size_t end) {
+      auto& cols = shard_cols[shard];
+      std::vector<uint32_t> probe;
+      float s4[4];
+      uint64_t scored = 0;
+      for (size_t r = begin; r < end; ++r) {
+        const float* x = queries.RowData(r);
+        ProbeLists(x, &probe);
+        TopKAccumulator row_acc(row_k);
+        for (uint32_t l : probe) {
+          const std::vector<uint32_t>& ids = lists_[l];
+          size_t i = 0;
+          for (; i + 4 <= ids.size(); i += 4) {
+            ops.dot4(x, base_.RowData(ids[i]), base_.RowData(ids[i + 1]),
+                     base_.RowData(ids[i + 2]), base_.RowData(ids[i + 3]),
+                     dim, s4);
+            for (int j = 0; j < 4; ++j) {
+              row_acc.Push(ids[i + j], s4[j]);
+              if (col_k > 0) {
+                cols[ids[i + j]].Push(static_cast<uint32_t>(r), s4[j]);
+              }
+            }
+          }
+          for (; i < ids.size(); ++i) {
+            const float s = ops.dot(x, base_.RowData(ids[i]), dim);
+            row_acc.Push(ids[i], s);
+            if (col_k > 0) cols[ids[i]].Push(static_cast<uint32_t>(r), s);
+          }
+          scored += ids.size();
+        }
+        out.row_topk[r] = row_acc.SortedEntries();
+      }
+      shard_scored[shard] += scored;
+    };
+    if (num_shards <= 1) {
+      run_shard(0, 0, nq);
+    } else {
+      pool.ParallelForShards(nq, run_shard);
+    }
+
+    if (col_k > 0) {
+      pool.ParallelFor(nb, [&](size_t c) {
+        TopKAccumulator& acc = shard_cols[0][c];
+        for (size_t s = 1; s < num_shards; ++s) acc.Merge(shard_cols[s][c]);
+        out.col_topk[c] = acc.SortedEntries();
+      });
+    }
+
+    uint64_t scored_cells = 0;
+    for (uint64_t s : shard_scored) scored_cells += s;
+    RecordQuery(scored_cells, static_cast<uint64_t>(nq) * nb,
+                timer.ElapsedSeconds());
+    uint64_t candidates = 0;
+    for (const auto& row : out.row_topk) candidates += row.size();
+    for (const auto& col : out.col_topk) candidates += col.size();
+    RecordCandidates(candidates);
+    return out;
+  }
+
+  std::vector<std::vector<ScoredIndex>> QueryAbove(
+      const Matrix& queries, float threshold) const override {
+    WallTimer timer;
+    const size_t nq = queries.rows();
+    const size_t dim = base_.cols();
+    std::vector<std::vector<ScoredIndex>> out(nq);
+    std::vector<uint64_t> scored_per_row(nq, 0);
+    const simd::Ops& ops = simd::Resolve(config_.kernel.backend);
+    auto scan_row = [&](size_t r) {
+      const float* x = queries.RowData(r);
+      std::vector<uint32_t> probe;
+      ProbeLists(x, &probe);
+      auto& row_out = out[r];
+      uint64_t scored = 0;
+      float s4[4];
+      for (uint32_t l : probe) {
+        const std::vector<uint32_t>& ids = lists_[l];
+        size_t i = 0;
+        for (; i + 4 <= ids.size(); i += 4) {
+          ops.dot4(x, base_.RowData(ids[i]), base_.RowData(ids[i + 1]),
+                   base_.RowData(ids[i + 2]), base_.RowData(ids[i + 3]), dim,
+                   s4);
+          for (int j = 0; j < 4; ++j) {
+            if (s4[j] >= threshold) {
+              row_out.push_back(ScoredIndex{ids[i + j], s4[j]});
+            }
+          }
+        }
+        for (; i < ids.size(); ++i) {
+          const float s = ops.dot(x, base_.RowData(ids[i]), dim);
+          if (s >= threshold) row_out.push_back(ScoredIndex{ids[i], s});
+        }
+        scored += ids.size();
+      }
+      // Lists are probed in similarity order; restore the ascending
+      // base-row order the interface promises.
+      std::sort(row_out.begin(), row_out.end(),
+                [](const ScoredIndex& a, const ScoredIndex& b) {
+                  return a.index < b.index;
+                });
+      scored_per_row[r] = scored;
+    };
+    if (config_.kernel.parallel) {
+      GlobalThreadPool().ParallelFor(nq, scan_row);
+    } else {
+      for (size_t r = 0; r < nq; ++r) scan_row(r);
+    }
+    uint64_t scored_cells = 0;
+    for (uint64_t s : scored_per_row) scored_cells += s;
+    RecordQuery(scored_cells, static_cast<uint64_t>(nq) * base_.rows(),
+                timer.ElapsedSeconds());
+    return out;
+  }
+
+  std::vector<size_t> CountAbove(
+      const Matrix& queries,
+      const std::vector<RankQuery>& rank_queries) const override {
+    WallTimer timer;
+    const size_t dim = base_.cols();
+    std::vector<size_t> greater(rank_queries.size(), 0);
+    std::vector<uint64_t> scored_per_query(rank_queries.size(), 0);
+    const simd::Ops& ops = simd::Resolve(config_.kernel.backend);
+    auto count_one = [&](size_t i) {
+      const RankQuery& rq = rank_queries[i];
+      DAAKG_CHECK_LT(rq.query_row, queries.rows());
+      const float* x = queries.RowData(rq.query_row);
+      std::vector<uint32_t> probe;
+      ProbeLists(x, &probe);
+      size_t count = 0;
+      uint64_t scored = 0;
+      for (uint32_t l : probe) {
+        for (uint32_t id : lists_[l]) {
+          if (ops.dot(x, base_.RowData(id), dim) > rq.target) ++count;
+        }
+        scored += lists_[l].size();
+      }
+      greater[i] = count;
+      scored_per_query[i] = scored;
+    };
+    if (config_.kernel.parallel) {
+      GlobalThreadPool().ParallelFor(rank_queries.size(), count_one);
+    } else {
+      for (size_t i = 0; i < rank_queries.size(); ++i) count_one(i);
+    }
+    uint64_t scored_cells = 0;
+    for (uint64_t s : scored_per_query) scored_cells += s;
+    RecordQuery(scored_cells,
+                static_cast<uint64_t>(rank_queries.size()) * base_.rows(),
+                timer.ElapsedSeconds());
+    return greater;
+  }
+
+ private:
+  void BuildClusters() {
+    const size_t n = base_.rows();
+    const size_t dim = base_.cols();
+    if (config_.nlist > 0) {
+      nlist_ = std::min(config_.nlist, n);
+    } else {
+      nlist_ = static_cast<size_t>(
+          std::lround(std::sqrt(static_cast<double>(n))));
+      nlist_ = std::clamp<size_t>(nlist_, 1, n);
+    }
+    nprobe_ = std::clamp<size_t>(config_.nprobe, 1, nlist_);
+
+    // Clustering geometry is cosine, so k-means runs over unit rows. When
+    // the base was normalized at build these are the base rows themselves.
+    Matrix unit_copy;
+    const Matrix* unit = &base_;
+    if (!config_.normalize) {
+      unit_copy = base_;
+      UnitNormalizeRows(&unit_copy);
+      unit = &unit_copy;
+    }
+
+    Rng rng(config_.seed);
+    std::vector<size_t> init = rng.SampleWithoutReplacement(n, nlist_);
+    centroids_ = Matrix(nlist_, dim);
+    for (size_t l = 0; l < nlist_; ++l) {
+      std::copy_n(unit->RowData(init[l]), dim, centroids_.RowData(l));
+    }
+
+    const simd::Ops& ops = simd::Resolve(config_.kernel.backend);
+    std::vector<uint32_t> assign(n, 0);
+    ThreadPool& pool = GlobalThreadPool();
+    auto assign_row = [&](size_t r) {
+      const float* x = unit->RowData(r);
+      float best = -std::numeric_limits<float>::infinity();
+      uint32_t best_l = 0;
+      float s4[4];
+      size_t l = 0;
+      for (; l + 4 <= nlist_; l += 4) {
+        ops.dot4(x, centroids_.RowData(l), centroids_.RowData(l + 1),
+                 centroids_.RowData(l + 2), centroids_.RowData(l + 3), dim,
+                 s4);
+        for (int j = 0; j < 4; ++j) {
+          // Strict > keeps ties on the lower list index, independent of
+          // iteration order.
+          if (s4[j] > best) {
+            best = s4[j];
+            best_l = static_cast<uint32_t>(l + j);
+          }
+        }
+      }
+      for (; l < nlist_; ++l) {
+        const float s = ops.dot(x, centroids_.RowData(l), dim);
+        if (s > best) {
+          best = s;
+          best_l = static_cast<uint32_t>(l);
+        }
+      }
+      assign[r] = best_l;
+    };
+
+    const int iters = std::max(1, config_.kmeans_iters);
+    for (int it = 0; it < iters; ++it) {
+      // Assignment is row-parallel: each row writes only assign[r].
+      if (config_.kernel.parallel) {
+        pool.ParallelFor(n, assign_row);
+      } else {
+        for (size_t r = 0; r < n; ++r) assign_row(r);
+      }
+      if (it + 1 == iters) break;  // final assignment defines the lists
+
+      // Centroid update: sequential double-accumulated sums in row order,
+      // so the result is independent of the assignment pass's sharding.
+      std::vector<double> sums(nlist_ * dim, 0.0);
+      std::vector<uint32_t> counts(nlist_, 0);
+      for (size_t r = 0; r < n; ++r) {
+        const float* x = unit->RowData(r);
+        double* s = sums.data() + static_cast<size_t>(assign[r]) * dim;
+        for (size_t i = 0; i < dim; ++i) s[i] += x[i];
+        ++counts[assign[r]];
+      }
+      for (size_t l = 0; l < nlist_; ++l) {
+        if (counts[l] == 0) continue;  // empty list keeps its old centroid
+        double sq = 0.0;
+        const double* s = sums.data() + l * dim;
+        for (size_t i = 0; i < dim; ++i) sq += s[i] * s[i];
+        if (sq <= 0.0) continue;
+        const double inv = 1.0 / std::sqrt(sq);
+        float* c = centroids_.RowData(l);
+        for (size_t i = 0; i < dim; ++i) {
+          c[i] = static_cast<float>(s[i] * inv);
+        }
+      }
+    }
+
+    lists_.assign(nlist_, {});
+    for (size_t r = 0; r < n; ++r) {
+      lists_[assign[r]].push_back(static_cast<uint32_t>(r));
+    }
+  }
+
+  // The nprobe_ most centroid-similar lists for `x`, in descending
+  // similarity order.
+  void ProbeLists(const float* x, std::vector<uint32_t>* out) const {
+    const simd::Ops& ops = simd::Resolve(config_.kernel.backend);
+    const size_t dim = base_.cols();
+    TopKAccumulator acc(nprobe_);
+    float s4[4];
+    size_t l = 0;
+    for (; l + 4 <= nlist_; l += 4) {
+      ops.dot4(x, centroids_.RowData(l), centroids_.RowData(l + 1),
+               centroids_.RowData(l + 2), centroids_.RowData(l + 3), dim, s4);
+      for (int j = 0; j < 4; ++j) {
+        acc.Push(static_cast<uint32_t>(l + j), s4[j]);
+      }
+    }
+    for (; l < nlist_; ++l) {
+      acc.Push(static_cast<uint32_t>(l), ops.dot(x, centroids_.RowData(l), dim));
+    }
+    *out = acc.SortedIndices();
+  }
+
+  size_t nlist_ = 0;
+  size_t nprobe_ = 0;
+  Matrix centroids_;                        // nlist x dim, unit rows
+  std::vector<std::vector<uint32_t>> lists_;  // ascending base-row ids
+};
+
+}  // namespace
+
+std::unique_ptr<CandidateIndex> MakeIvfIndex(
+    Matrix base, const CandidateIndexConfig& config) {
+  return std::make_unique<IvfIndex>(std::move(base), config);
+}
+
+}  // namespace index_internal
+}  // namespace daakg
