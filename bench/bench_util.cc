@@ -9,6 +9,7 @@
 #include "common/timer.h"
 #include "obs/json_exporter.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace daakg {
 namespace bench {
@@ -74,6 +75,7 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
   BenchArgs args;
   constexpr const char kMetricsFlag[] = "--metrics_json=";
   constexpr const char kIndexFlag[] = "--index_json=";
+  constexpr const char kTraceFlag[] = "--trace_json=";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], kMetricsFlag, sizeof(kMetricsFlag) - 1) == 0) {
       args.metrics_json = argv[i] + sizeof(kMetricsFlag) - 1;
@@ -83,8 +85,28 @@ BenchArgs ParseBenchArgs(int argc, char** argv) {
       args.index_json = argv[i] + sizeof(kIndexFlag) - 1;
       continue;
     }
+    if (std::strncmp(argv[i], kTraceFlag, sizeof(kTraceFlag) - 1) == 0) {
+      args.trace_json = argv[i] + sizeof(kTraceFlag) - 1;
+      continue;
+    }
     LOG_FATAL << "unknown argument: " << argv[i] << " (usage: " << argv[0]
-              << " [--metrics_json=<path>] [--index_json=<path>])";
+              << " [--metrics_json=<path>] [--index_json=<path>]"
+              << " [--trace_json=<path>])";
+  }
+  if (!args.trace_json.empty()) {
+    if (obs::TraceSession::Global().active()) {
+      // DAAKG_TRACE already started a session (and owns the export path).
+      LOG_WARNING << "--trace_json=" << args.trace_json
+                  << " ignored: a trace session is already active"
+                  << " (DAAKG_TRACE?)";
+    } else {
+      Status status =
+          obs::TraceSession::Global().StartWithExportAtExit(args.trace_json);
+      if (!status.ok()) {
+        LOG_FATAL << "starting trace session for " << args.trace_json << ": "
+                  << status;
+      }
+    }
   }
   return args;
 }

@@ -42,9 +42,13 @@ DaakgConfig DaakgBenchConfig(const std::string& model, const BenchEnv& env);
 //   --index_json=<path>     fig6_pool_recall only: write the candidate-index
 //                           backend sweep (recall vs exact + speedup per
 //                           (nlist, nprobe) point) as JSON
+//   --trace_json=<path>     start a structured-trace session for the whole
+//                           bench run and export Chrome trace-event JSON
+//                           (Perfetto-loadable) at exit
 struct BenchArgs {
   std::string metrics_json;
   std::string index_json;
+  std::string trace_json;
 };
 
 // Parses the flags above; unknown arguments abort with a usage message.

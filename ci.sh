@@ -11,6 +11,26 @@ cd "$(dirname "$0")"
 
 JOBS="${JOBS:-$(nproc)}"
 
+# Opt-in bench regression gate: `./ci.sh bench-diff` rebuilds the two
+# machine-readable benches, re-runs them into a scratch dir, and fails if
+# throughput / recall regress >15% against the committed baselines
+# (BENCH_kernels.json, BENCH_index.json). Kept out of the default legs
+# because bench runs are minutes-long and noisy on loaded machines.
+if [ "${1:-}" = "bench-diff" ]; then
+  echo "== bench regression gate =="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS" --target micro_kernels fig6_pool_recall
+  FRESH="$(mktemp -d)"
+  trap 'rm -rf "$FRESH"' EXIT
+  ./build/bench/micro_kernels \
+    --benchmark_out="$FRESH/kernels.json" --benchmark_out_format=json
+  ./build/bench/fig6_pool_recall --index_json="$FRESH/index.json"
+  python3 tools/bench_diff.py kernels BENCH_kernels.json "$FRESH/kernels.json"
+  python3 tools/bench_diff.py index BENCH_index.json "$FRESH/index.json"
+  echo "ci.sh bench-diff: all green"
+  exit 0
+fi
+
 echo "== release build =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
@@ -50,8 +70,11 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
 echo "== sanitizer build (TSan, concurrency-heavy tests) =="
 cmake -B build-tsan -S . -DDAAKG_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target common_test tensor_test active_test infer_test align_test index_test
+cmake --build build-tsan -j "$JOBS" --target common_test tensor_test active_test infer_test align_test index_test obs_test
 ./build-tsan/tests/common_test --gtest_filter='ThreadPoolTest.*'
+# Concurrent span emission across ParallelFor fan-out, session start/stop
+# races against in-flight writers, and the pool telemetry counters.
+./build-tsan/tests/obs_test --gtest_filter='TraceTest.*:PoolTelemetryTest.*'
 ./build-tsan/tests/tensor_test --gtest_filter='KernelTest.*:TopKAccumulatorTest.*:SimdTest.*'
 ./build-tsan/tests/active_test --gtest_filter='ActiveTest.GeneratedPoolMatchesBruteForceMutualTopN:ActiveTest.RepeatedSelectionIsDeterministic'
 ./build-tsan/tests/infer_test --gtest_filter='InferTest.PowerFromEveryNodeConcurrently'

@@ -4,7 +4,7 @@
 #include <unordered_set>
 
 #include "common/thread_pool.h"
-#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "tensor/topk.h"
 
 namespace daakg {
@@ -85,10 +85,12 @@ void PoolGenerator::EnsureIndex() const {
   if (index_ != nullptr) return;
   static obs::Histogram* sig_timing = obs::GlobalMetrics().GetHistogram(
       "daakg.active.pool_signature_seconds");
-  obs::ScopedTimer span(sig_timing);
+  obs::TraceSpan span("active.pool_signatures", "active", sig_timing);
   const size_t n1 = task_->kg1.num_entities();
   const size_t n2 = task_->kg2.num_entities();
   const size_t sig_dim = 2 * model_->kg1_model()->dim();
+  span.AddArg("n1", static_cast<double>(n1));
+  span.AddArg("n2", static_cast<double>(n2));
 
   // Signatures (parallel). The KG1 side is unit-normalized here; the KG2
   // side is normalized inside the index build (config.normalize) with the
@@ -128,7 +130,8 @@ std::vector<ElementPair> PoolGenerator::Generate(size_t top_n) const {
       obs::GlobalMetrics().GetCounter("daakg.active.pool_candidates");
   static obs::Gauge* pool_size =
       obs::GlobalMetrics().GetGauge("daakg.active.pool_size");
-  obs::ScopedTimer span(build_timing);
+  obs::TraceSpan span("active.pool_generate", "active", build_timing);
+  span.AddArg("top_n", static_cast<double>(top_n));
   EnsureIndex();
   const size_t n1 = task_->kg1.num_entities();
   const size_t n2 = task_->kg2.num_entities();

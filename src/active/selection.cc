@@ -8,8 +8,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
-#include "common/timer.h"
-#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace daakg {
 namespace {
@@ -81,7 +80,12 @@ SelectionResult LazyGreedy(
 
 SelectionResult GreedySelect(const SelectionContext& ctx,
                              const SelectionConfig& config) {
-  WallTimer timer;
+  // kAlways: result.seconds (and through it the selection histogram) needs
+  // the elapsed time even when tracing is off; Finish() supplies the same
+  // duration the trace event records.
+  obs::TraceSpan span("active.greedy_select", "active", nullptr,
+                      obs::TimingMode::kAlways);
+  span.AddArg("batch_size", static_cast<double>(config.batch_size));
   const size_t n = ctx.engine->graph().num_nodes();
 
   // Line 2 of Algorithm 1: power rows for every candidate (the brute-force
@@ -108,14 +112,16 @@ SelectionResult GreedySelect(const SelectionContext& ctx,
   };
   SelectionResult result = LazyGreedy<std::pair<uint32_t, float>>(
       ctx, config, rows, prob, gain, commit, n);
-  result.seconds = timer.ElapsedSeconds();
+  result.seconds = span.Finish();
   RecordSelection(result);
   return result;
 }
 
 SelectionResult PartitionSelect(const SelectionContext& ctx,
                                 const SelectionConfig& config) {
-  WallTimer timer;
+  obs::TraceSpan span("active.partition_select", "active", nullptr,
+                      obs::TimingMode::kAlways);
+  span.AddArg("batch_size", static_cast<double>(config.batch_size));
   const AlignmentGraph& graph = ctx.engine->graph();
   const size_t n = graph.num_nodes();
   const int mu = ctx.engine->config().max_hops;
@@ -318,7 +324,7 @@ SelectionResult PartitionSelect(const SelectionContext& ctx,
   SelectionResult result = LazyGreedy<GroupEntry>(ctx, config, rows, prob,
                                                   gain, commit, num_groups);
   result.num_groups = num_groups;
-  result.seconds = timer.ElapsedSeconds();
+  result.seconds = span.Finish();
   obs::GlobalMetrics()
       .GetGauge("daakg.active.partition_groups")
       ->Set(static_cast<double>(num_groups));

@@ -8,7 +8,7 @@
 #include "align/losses.h"
 #include "common/thread_pool.h"
 #include "index/candidate_index.h"
-#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/topk.h"
 
@@ -257,6 +257,9 @@ void JointAlignmentModel::RefreshEntitySimFromUnits(const Matrix& unit1,
         static_cast<double>(moved_cols) <= frac * static_cast<double>(n2)) {
       // Recompute contiguous runs of dirty bands through the row-range
       // kernel; snapshot exactly the rows that were rewritten.
+      obs::TraceSpan band_span("align.ent_sim_band_refresh", "align");
+      band_span.AddArg("rows", static_cast<double>(rows_to_refresh));
+      band_span.AddArg("cols_patched", static_cast<double>(moved_cols));
       for (size_t bi = 0; bi < num_bands;) {
         if (!band_dirty[bi]) {
           ++bi;
@@ -278,6 +281,8 @@ void JointAlignmentModel::RefreshEntitySimFromUnits(const Matrix& unit1,
       // which is bitwise identical to the band kernel's cells within a
       // backend, so patched and band-refreshed cells agree exactly.
       if (moved_cols > 0) {
+        obs::TraceSpan patch_span("align.ent_sim_col_patch", "align");
+        patch_span.AddArg("cols", static_cast<double>(moved_cols));
         std::vector<uint32_t> patch_cols;
         patch_cols.reserve(moved_cols);
         for (size_t c = 0; c < n2; ++c) {
@@ -322,6 +327,8 @@ void JointAlignmentModel::RefreshEntitySimFromUnits(const Matrix& unit1,
   // are stored unconditionally — unit_mapped1()/unit_repr2() consumers
   // (index-based matching at scale) need them even when the incremental
   // policy is off; have_prev_units_ still gates the incremental path.
+  obs::TraceSpan full_span("align.ent_sim_full_refresh", "align");
+  full_span.AddArg("rows", static_cast<double>(n1));
   BlockedMatMulNT(unit1, unit2, &ent_sim_);
   prev_unit1_ = unit1;
   prev_unit2_ = unit2;
@@ -488,13 +495,25 @@ void JointAlignmentModel::RefreshCaches() {
       obs::GlobalMetrics().GetHistogram("daakg.align.refresh_caches_seconds");
   static obs::Counter* refresh_count =
       obs::GlobalMetrics().GetCounter("daakg.align.refresh_caches_calls");
-  obs::ScopedTimer span(refresh_timing);
+  obs::TraceSpan span("align.refresh_caches", "align", refresh_timing);
   refresh_count->Increment();
-  ComputeEntitySimMatrix();
-  ComputeMeanEmbeddings();
+  {
+    obs::TraceSpan sub("align.entity_sim", "align");
+    ComputeEntitySimMatrix();
+  }
+  {
+    obs::TraceSpan sub("align.mean_embeddings", "align");
+    ComputeMeanEmbeddings();
+  }
   caches_ready_ = true;  // schema sims below may consult mean embeddings
-  ComputeSchemaSimMatrices();
-  ComputeCalibrationDenominators();
+  {
+    obs::TraceSpan sub("align.schema_sims", "align");
+    ComputeSchemaSimMatrices();
+  }
+  {
+    obs::TraceSpan sub("align.calibration", "align");
+    ComputeCalibrationDenominators();
+  }
 }
 
 Vector JointAlignmentModel::MappedEntityRepr1(EntityId e1) const {
@@ -795,6 +814,7 @@ void JointAlignmentModel::RefreshMiningSnapshot() {
 
 double JointAlignmentModel::TrainEpoch(const SeedAlignment& seed, Rng* rng,
                                        bool focal) {
+  obs::TraceSpan span("align.joint_epoch", "align");
   caches_ready_ = false;  // parameters move; cached sims go stale
   RefreshMiningSnapshot();
   double total = 0.0;

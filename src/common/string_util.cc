@@ -1,6 +1,7 @@
 #include "common/string_util.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <unordered_set>
@@ -100,6 +101,39 @@ double EditSimilarity(std::string_view a, std::string_view b) {
   size_t m = std::max(a.size(), b.size());
   if (m == 0) return 1.0;
   return 1.0 - static_cast<double>(EditDistance(a, b)) / static_cast<double>(m);
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  return StrFormat("%.9g", v);
 }
 
 }  // namespace daakg

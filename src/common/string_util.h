@@ -24,6 +24,14 @@ bool StrStartsWith(std::string_view s, std::string_view prefix);
 std::string StrFormat(const char* format, ...)
     __attribute__((format(printf, 1, 2)));
 
+// Escapes `s` for embedding in a JSON string literal (quotes, backslashes,
+// control characters). Shared by the metrics and trace JSON exporters.
+std::string JsonEscape(std::string_view s);
+
+// Formats `v` as a JSON number. JSON has no Infinity/NaN literals, so
+// non-finite values serialize as 0 rather than corrupting the document.
+std::string JsonNumber(double v);
+
 // Character-level n-gram Jaccard similarity in [0, 1]; used by lexical
 // baselines. n defaults to 2 (bigrams). Strings shorter than n are compared
 // for equality.

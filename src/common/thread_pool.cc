@@ -1,11 +1,28 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 #include "common/logging.h"
 
 namespace daakg {
+
+namespace {
+
+// Relaxed is enough: the contract requires installation before pools run
+// work, so there is no concurrent install/use ordering to enforce.
+std::atomic<const ThreadPoolObserver*> g_pool_observer{nullptr};
+
+const ThreadPoolObserver* PoolObserver() {
+  return g_pool_observer.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void SetThreadPoolObserver(const ThreadPoolObserver* observer) {
+  g_pool_observer.store(observer, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -27,24 +44,35 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const ThreadPoolObserver* obs = PoolObserver();
+  // Capture outside the lock: the hook may read thread-local trace state.
+  const uint64_t context = obs != nullptr ? obs->capture_context() : 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     DAAKG_CHECK(!shutting_down_);
-    tasks_.push(std::move(task));
+    tasks_.push(Task{std::move(task), context});
     ++in_flight_;
+    if (obs != nullptr) obs->on_enqueue(tasks_.size());
   }
   cv_.notify_all();
 }
 
-bool ThreadPool::TryRunOneTask() {
-  std::function<void()> task;
+bool ThreadPool::TryRunOneTask(bool from_wait) {
+  const ThreadPoolObserver* obs = PoolObserver();
+  Task task;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     if (tasks_.empty()) return false;
     task = std::move(tasks_.front());
     tasks_.pop();
+    if (obs != nullptr) obs->on_dequeue(tasks_.size());
   }
-  task();
+  if (obs != nullptr) {
+    if (from_wait) obs->on_help_drain();
+    obs->task_begin(task.context);
+  }
+  task.fn();
+  if (obs != nullptr) obs->task_end();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     --in_flight_;
@@ -55,7 +83,7 @@ bool ThreadPool::TryRunOneTask() {
 
 void ThreadPool::Wait() {
   for (;;) {
-    if (TryRunOneTask()) continue;
+    if (TryRunOneTask(/*from_wait=*/true)) continue;
     std::unique_lock<std::mutex> lock(mutex_);
     if (in_flight_ == 0) return;
     if (!tasks_.empty()) continue;
@@ -70,7 +98,7 @@ void ThreadPool::WorkerLoop() {
       cv_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
       if (tasks_.empty() && shutting_down_) return;
     }
-    TryRunOneTask();
+    TryRunOneTask(/*from_wait=*/false);
   }
 }
 
@@ -130,7 +158,7 @@ void ThreadPool::ParallelForShards(
         continue;
       }
     }
-    TryRunOneTask();
+    TryRunOneTask(/*from_wait=*/true);
   }
 }
 

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,35 @@
 #include <vector>
 
 namespace daakg {
+
+// Optional instrumentation hooks for every ThreadPool in the process.
+// `common/` cannot depend on `obs/`, so the observability layer installs a
+// table of plain function pointers instead of calling it directly
+// (`obs/trace.cc` does so from a static initializer).
+//
+// Contract: all pointers must be non-null; the table must outlive every
+// pool (install a static). on_enqueue/on_dequeue run under the pool mutex
+// and must not touch the pool. capture_context runs on the submitting
+// thread, outside the pool mutex; its return value is handed to task_begin
+// on the executing thread just before the task body runs, and task_end runs
+// right after — these bracket every task and may keep thread-local state.
+struct ThreadPoolObserver {
+  // Captures an opaque submit-side context (e.g. the current trace span id).
+  uint64_t (*capture_context)();
+  // Brackets task execution on the running thread.
+  void (*task_begin)(uint64_t context);
+  void (*task_end)();
+  // Queue-depth samples, taken under the pool mutex right after a push/pop.
+  void (*on_enqueue)(size_t queue_depth);
+  void (*on_dequeue)(size_t queue_depth);
+  // A thread that would otherwise block in Wait()/ParallelForShards ran a
+  // queued task instead.
+  void (*on_help_drain)();
+};
+
+// Installs the process-wide observer (nullptr uninstalls). Not synchronized
+// with in-flight tasks: install once at startup, before pools run work.
+void SetThreadPoolObserver(const ThreadPoolObserver* observer);
 
 // Fixed-size worker pool for data-parallel loops. Tasks are plain
 // std::function<void()>; Wait() blocks until the queue drains and all
@@ -61,13 +91,21 @@ class ThreadPool {
     size_t remaining = 0;
   };
 
+  // One queued task plus the observer context captured at Submit time.
+  struct Task {
+    std::function<void()> fn;
+    uint64_t context = 0;
+  };
+
   void WorkerLoop();
   // Runs one queued task (any task, not necessarily the caller's) with
   // in-flight bookkeeping. Returns false if the queue was empty.
-  bool TryRunOneTask();
+  // `from_wait` marks help-draining callers (Wait / ParallelForShards tails)
+  // as opposed to dedicated workers, for the observer only.
+  bool TryRunOneTask(bool from_wait);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::queue<Task> tasks_;
   std::mutex mutex_;
   // Single condition variable for every wake-up source: task submission,
   // task completion, group completion, and shutdown. Waiters re-check their

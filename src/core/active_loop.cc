@@ -4,9 +4,8 @@
 #include <unordered_set>
 
 #include "common/logging.h"
-#include "common/timer.h"
 #include "infer/alignment_graph.h"
-#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace daakg {
 namespace {
@@ -141,20 +140,31 @@ std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
   while (next_report < config_.report_fractions.size() &&
          queries < max_queries) {
     ++window.rounds;
-    WallTimer refresh_timer;
-    aligner_->RefreshCaches();
-    window.refresh_seconds += refresh_timer.ElapsedSeconds();
+    // kAlways spans: the RoundTelemetry window needs phase wall-times even
+    // when tracing is off, and Finish() hands back the very duration the
+    // trace event records (one clock-read pair per phase).
+    obs::TraceSpan round_span("core.active_round", "core");
+    round_span.AddArg("round", static_cast<double>(window.rounds));
+    {
+      obs::TraceSpan refresh_span("core.round_refresh", "core", nullptr,
+                                  obs::TimingMode::kAlways);
+      aligner_->RefreshCaches();
+      window.refresh_seconds += refresh_span.Finish();
+    }
 
     // Rebuild pool / graph / engine against the refreshed model.
-    WallTimer pool_timer;
+    obs::TraceSpan pool_span("core.round_pool_build", "core", nullptr,
+                             obs::TimingMode::kAlways);
     PoolGenerator pool_gen(task_, aligner_->joint(), config_.pool);
     std::vector<ElementPair> pool = pool_gen.Generate();
-    window.pool_build_seconds += pool_timer.ElapsedSeconds();
+    window.pool_build_seconds += pool_span.Finish();
     window.pool_size = pool.size();
+    obs::TraceSpan graph_span("core.round_graph", "core");
     AlignmentGraph graph(task_, pool);
     InferenceEngine engine(&graph, aligner_->joint(),
                            aligner_->config().infer);
     engine.PrecomputeEdgeCosts();
+    graph_span.Finish();
 
     std::vector<bool> labeled(pool.size(), false);
     size_t unlabeled = 0;
@@ -169,10 +179,11 @@ std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
     }
 
     SelectionContext ctx{&engine, aligner_->joint(), &labeled};
-    WallTimer select_timer;
+    obs::TraceSpan select_span("core.round_selection", "core", nullptr,
+                               obs::TimingMode::kAlways);
     std::vector<uint32_t> batch =
         strategy_->SelectBatch(ctx, config_.batch_size, &rng);
-    window.selection_seconds += select_timer.ElapsedSeconds();
+    window.selection_seconds += select_span.Finish();
     if (batch.empty()) break;
 
     SeedAlignment new_matches;
@@ -198,9 +209,10 @@ std::vector<ActiveRoundReport> ActiveAlignmentLoop::Run() {
     }
     if (!new_matches.entities.empty() || !new_matches.relations.empty() ||
         !new_matches.classes.empty()) {
-      WallTimer fine_tune_timer;
+      obs::TraceSpan fine_tune_span("core.round_fine_tune", "core", nullptr,
+                                    obs::TimingMode::kAlways);
       aligner_->FineTune(new_matches);
-      window.fine_tune_seconds += fine_tune_timer.ElapsedSeconds();
+      window.fine_tune_seconds += fine_tune_span.Finish();
     }
     maybe_report();
   }

@@ -4,8 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
-#include "common/timer.h"
-#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace daakg {
 namespace {
@@ -137,6 +136,7 @@ DaakgAligner::DaakgAligner(const AlignmentTask* task,
 }
 
 void DaakgAligner::WarmStartKge() {
+  obs::TraceSpan span("core.kge_warm_start", "core");
   kge_rng1_ = rng_.Fork();
   kge_rng2_ = rng_.Fork();
   trainer1_ = std::make_unique<KgeTrainer>(model1_.get(), ec1_.get());
@@ -158,7 +158,7 @@ void DaakgAligner::KgeEpoch() {
 void DaakgAligner::JointRound(const SeedAlignment& train_set, bool focal) {
   static obs::Histogram* round_timing =
       obs::GlobalMetrics().GetHistogram("daakg.align.joint_round_seconds");
-  obs::ScopedTimer span(round_timing);
+  obs::TraceSpan span("core.joint_round", "core", round_timing);
   KgeEpoch();
   Rng rng = rng_.Fork();
   for (int k = 0; k < config_.align.joint_epochs_per_round; ++k) {
@@ -196,6 +196,7 @@ void DaakgAligner::RefreshSemiSupervision() {
 }
 
 void DaakgAligner::Train(const SeedAlignment& seed) {
+  obs::TraceSpan span("core.train", "core");
   MergePairs(&labeled_.entities, seed.entities);
   MergePairs(&labeled_.relations, seed.relations);
   MergePairs(&labeled_.classes, seed.classes);
@@ -224,7 +225,8 @@ void DaakgAligner::Train(const SeedAlignment& seed) {
 void DaakgAligner::FineTune(const SeedAlignment& new_matches) {
   static obs::Histogram* fine_tune_timing =
       obs::GlobalMetrics().GetHistogram("daakg.core.fine_tune_seconds");
-  obs::ScopedTimer span(fine_tune_timing);
+  obs::TraceSpan span("core.fine_tune", "core", fine_tune_timing);
+  span.AddArg("new_entities", static_cast<double>(new_matches.entities.size()));
   MergePairs(&labeled_.entities, new_matches.entities);
   MergePairs(&labeled_.relations, new_matches.relations);
   MergePairs(&labeled_.classes, new_matches.classes);
@@ -250,6 +252,7 @@ void DaakgAligner::FineTune(const SeedAlignment& new_matches) {
 }
 
 EvalResult DaakgAligner::Evaluate() {
+  obs::TraceSpan span("core.evaluate", "core");
   if (!joint_->caches_ready()) joint_->RefreshCaches();
   EvalResult out;
   auto ent_test = TestPairs(task_->gold_entities, labeled_.entities);
@@ -269,6 +272,7 @@ EvalResult DaakgAligner::Evaluate() {
 }
 
 DaakgAligner::Alignment DaakgAligner::ExtractAlignment() {
+  obs::TraceSpan span("core.extract_alignment", "core");
   if (!joint_->caches_ready()) joint_->RefreshCaches();
   Alignment out;
   // Entity matching goes through the candidate index when an IVF backend is

@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "embedding/negative_sampler.h"
-#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace daakg {
 
@@ -13,7 +13,7 @@ void KgeTrainer::TrainEpoch(Rng* rng, KgeTrainStats* stats) {
       obs::GlobalMetrics().GetHistogram("daakg.embedding.kge_epoch_seconds");
   static obs::Counter* train_steps =
       obs::GlobalMetrics().GetCounter("daakg.embedding.kge_train_steps");
-  obs::ScopedTimer span(epoch_timing);
+  obs::TraceSpan span("embedding.kge_epoch", "embedding", epoch_timing);
   const KnowledgeGraph& kg = model_->kg();
   const KgeConfig& cfg = model_->config();
   NegativeSampler sampler(&kg);
@@ -26,19 +26,24 @@ void KgeTrainer::TrainEpoch(Rng* rng, KgeTrainStats* stats) {
   rng->Shuffle(&order);
   double er_loss = 0.0;
   size_t er_steps = 0;
-  for (size_t idx : order) {
-    const Triplet& pos = kg.triplets()[idx];
-    for (int k = 0; k < cfg.num_negatives; ++k) {
-      EntityId neg = sampler.CorruptTail(pos, rng);
-      er_loss += model_->TrainPair(pos, neg, cfg.learning_rate);
-      ++er_steps;
+  {
+    obs::TraceSpan er_span("embedding.er_pass", "embedding");
+    for (size_t idx : order) {
+      const Triplet& pos = kg.triplets()[idx];
+      for (int k = 0; k < cfg.num_negatives; ++k) {
+        EntityId neg = sampler.CorruptTail(pos, rng);
+        er_loss += model_->TrainPair(pos, neg, cfg.learning_rate);
+        ++er_steps;
+      }
     }
+    er_span.AddArg("steps", static_cast<double>(er_steps));
   }
 
   // --- entity-class pass (Eq. 3) ------------------------------------------
   double ec_loss = 0.0;
   size_t ec_steps = 0;
   if (ec_model_ != nullptr) {
+    obs::TraceSpan ec_span("embedding.ec_pass", "embedding");
     std::vector<size_t> type_order(kg.type_triplets().size());
     std::iota(type_order.begin(), type_order.end(), 0);
     rng->Shuffle(&type_order);
@@ -51,6 +56,7 @@ void KgeTrainer::TrainEpoch(Rng* rng, KgeTrainStats* stats) {
         ++ec_steps;
       }
     }
+    ec_span.AddArg("steps", static_cast<double>(ec_steps));
   }
 
   model_->NormalizeEntities();

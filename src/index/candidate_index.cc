@@ -8,9 +8,9 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
-#include "common/timer.h"
 #include "index/internal.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/simd/simd.h"
 
 namespace daakg {
@@ -181,7 +181,12 @@ StatusOr<std::unique_ptr<CandidateIndex>> CandidateIndex::Build(
   if (base.rows() == 0 || base.cols() == 0) {
     return InvalidArgumentError("index base must be non-empty");
   }
-  WallTimer timer;
+  // Fused timing: the span feeds the build histogram and build_stats_ gets
+  // the identical duration from Finish() (kAlways: stats need it regardless
+  // of tracing).
+  obs::TraceSpan span("index.build", "index", build_timing,
+                      obs::TimingMode::kAlways);
+  span.AddArg("rows", static_cast<double>(base.rows()));
   IndexBackendKind kind = ResolveIndexBackend(config.backend);
   bool fallback = false;
   if (kind == IndexBackendKind::kIvf && base.rows() < config.min_rows_for_ann) {
@@ -194,9 +199,9 @@ StatusOr<std::unique_ptr<CandidateIndex>> CandidateIndex::Build(
           ? index_internal::MakeIvfIndex(std::move(base), config)
           : index_internal::MakeExactIndex(std::move(base), config);
   out->build_stats_.ann_fallback = fallback;
-  out->build_stats_.build_seconds = timer.ElapsedSeconds();
+  span.AddArg("nlist", static_cast<double>(out->build_stats_.nlist));
+  out->build_stats_.build_seconds = span.Finish();
   builds->Increment();
-  build_timing->Record(out->build_stats_.build_seconds);
   nlist_gauge->Set(static_cast<double>(out->build_stats_.nlist));
   return out;
 }

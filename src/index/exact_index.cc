@@ -9,9 +9,9 @@
 #include <utility>
 #include <vector>
 
-#include "common/timer.h"
 #include "index/candidate_index.h"
 #include "index/internal.h"
+#include "obs/trace.h"
 #include "tensor/simd/simd.h"
 #include "tensor/topk.h"
 
@@ -28,11 +28,13 @@ class ExactIndex final : public CandidateIndex {
 
   SimTopK QueryTopK(const Matrix& queries, size_t row_k,
                     size_t col_k) const override {
-    WallTimer timer;
+    obs::TraceSpan span("index.query_topk", "index", nullptr,
+                        obs::TimingMode::kAlways);
+    span.AddArg("queries", static_cast<double>(queries.rows()));
     SimTopK out = BlockedSimTopK(queries, base_, row_k, col_k, config_.kernel);
     const uint64_t cells =
         static_cast<uint64_t>(queries.rows()) * base_.rows();
-    RecordQuery(cells, cells, timer.ElapsedSeconds());
+    RecordQuery(cells, cells, span.Finish());
     uint64_t candidates = 0;
     for (const auto& row : out.row_topk) candidates += row.size();
     for (const auto& col : out.col_topk) candidates += col.size();
@@ -42,7 +44,9 @@ class ExactIndex final : public CandidateIndex {
 
   std::vector<std::vector<ScoredIndex>> QueryAbove(
       const Matrix& queries, float threshold) const override {
-    WallTimer timer;
+    obs::TraceSpan span("index.query_above", "index", nullptr,
+                        obs::TimingMode::kAlways);
+    span.AddArg("queries", static_cast<double>(queries.rows()));
     std::vector<std::vector<ScoredIndex>> out(queries.rows());
     // All tiles of one query row arrive from a single shard in ascending
     // column order, so each out[r] is built in ascending base-row order
@@ -62,14 +66,16 @@ class ExactIndex final : public CandidateIndex {
         config_.kernel);
     const uint64_t cells =
         static_cast<uint64_t>(queries.rows()) * base_.rows();
-    RecordQuery(cells, cells, timer.ElapsedSeconds());
+    RecordQuery(cells, cells, span.Finish());
     return out;
   }
 
   std::vector<size_t> CountAbove(
       const Matrix& queries,
       const std::vector<RankQuery>& rank_queries) const override {
-    WallTimer timer;
+    obs::TraceSpan span("index.count_above", "index", nullptr,
+                        obs::TimingMode::kAlways);
+    span.AddArg("queries", static_cast<double>(rank_queries.size()));
     std::vector<size_t> greater(rank_queries.size(), 0);
     std::vector<std::vector<size_t>> of_row(queries.rows());
     for (size_t i = 0; i < rank_queries.size(); ++i) {
@@ -89,7 +95,7 @@ class ExactIndex final : public CandidateIndex {
         config_.kernel);
     const uint64_t cells =
         static_cast<uint64_t>(queries.rows()) * base_.rows();
-    RecordQuery(cells, cells, timer.ElapsedSeconds());
+    RecordQuery(cells, cells, span.Finish());
     return greater;
   }
 };

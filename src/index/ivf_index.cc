@@ -28,9 +28,9 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
-#include "common/timer.h"
 #include "index/candidate_index.h"
 #include "index/internal.h"
+#include "obs/trace.h"
 #include "tensor/simd/simd.h"
 #include "tensor/topk.h"
 
@@ -43,13 +43,18 @@ class IvfIndex final : public CandidateIndex {
   IvfIndex(Matrix base, const CandidateIndexConfig& config)
       : CandidateIndex(std::move(base), config) {
     build_stats_.backend = IndexBackendKind::kIvf;
+    obs::TraceSpan span("index.ivf_kmeans", "index");
     BuildClusters();
+    span.AddArg("nlist", static_cast<double>(nlist_));
     build_stats_.nlist = nlist_;
   }
 
   SimTopK QueryTopK(const Matrix& queries, size_t row_k,
                     size_t col_k) const override {
-    WallTimer timer;
+    obs::TraceSpan span("index.query_topk", "index", nullptr,
+                        obs::TimingMode::kAlways);
+    span.AddArg("queries", static_cast<double>(queries.rows()));
+    span.AddArg("nprobe", static_cast<double>(config_.nprobe));
     const size_t nq = queries.rows();
     const size_t nb = base_.rows();
     const size_t dim = base_.cols();
@@ -123,8 +128,7 @@ class IvfIndex final : public CandidateIndex {
 
     uint64_t scored_cells = 0;
     for (uint64_t s : shard_scored) scored_cells += s;
-    RecordQuery(scored_cells, static_cast<uint64_t>(nq) * nb,
-                timer.ElapsedSeconds());
+    RecordQuery(scored_cells, static_cast<uint64_t>(nq) * nb, span.Finish());
     uint64_t candidates = 0;
     for (const auto& row : out.row_topk) candidates += row.size();
     for (const auto& col : out.col_topk) candidates += col.size();
@@ -134,7 +138,10 @@ class IvfIndex final : public CandidateIndex {
 
   std::vector<std::vector<ScoredIndex>> QueryAbove(
       const Matrix& queries, float threshold) const override {
-    WallTimer timer;
+    obs::TraceSpan span("index.query_above", "index", nullptr,
+                        obs::TimingMode::kAlways);
+    span.AddArg("queries", static_cast<double>(queries.rows()));
+    span.AddArg("nprobe", static_cast<double>(config_.nprobe));
     const size_t nq = queries.rows();
     const size_t dim = base_.cols();
     std::vector<std::vector<ScoredIndex>> out(nq);
@@ -182,14 +189,17 @@ class IvfIndex final : public CandidateIndex {
     uint64_t scored_cells = 0;
     for (uint64_t s : scored_per_row) scored_cells += s;
     RecordQuery(scored_cells, static_cast<uint64_t>(nq) * base_.rows(),
-                timer.ElapsedSeconds());
+                span.Finish());
     return out;
   }
 
   std::vector<size_t> CountAbove(
       const Matrix& queries,
       const std::vector<RankQuery>& rank_queries) const override {
-    WallTimer timer;
+    obs::TraceSpan span("index.count_above", "index", nullptr,
+                        obs::TimingMode::kAlways);
+    span.AddArg("queries", static_cast<double>(rank_queries.size()));
+    span.AddArg("nprobe", static_cast<double>(config_.nprobe));
     const size_t dim = base_.cols();
     std::vector<size_t> greater(rank_queries.size(), 0);
     std::vector<uint64_t> scored_per_query(rank_queries.size(), 0);
@@ -220,7 +230,7 @@ class IvfIndex final : public CandidateIndex {
     for (uint64_t s : scored_per_query) scored_cells += s;
     RecordQuery(scored_cells,
                 static_cast<uint64_t>(rank_queries.size()) * base_.rows(),
-                timer.ElapsedSeconds());
+                span.Finish());
     return greater;
   }
 

@@ -7,7 +7,7 @@
 #include <unordered_set>
 
 #include "common/thread_pool.h"
-#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace daakg {
 namespace {
@@ -120,8 +120,10 @@ float InferenceEngine::ComputeEdgeCost(uint32_t node,
 }
 
 void InferenceEngine::PrecomputeEdgeCosts() {
-  obs::ScopedTimer span(precompute_timing_);
+  obs::TraceSpan span("infer.precompute_edge_costs", "infer",
+                      precompute_timing_);
   const size_t n = graph_->num_nodes();
+  span.AddArg("nodes", static_cast<double>(n));
 
   // Phase 1: populate the bound caches for every triplet any later cost or
   // power computation resolves to. Graph edges and the per-relation-pair
@@ -136,31 +138,37 @@ void InferenceEngine::PrecomputeEdgeCosts() {
     EnsureBound(1, src.first, r1, dst.first);
     EnsureBound(2, src.second, r2, dst.second);
   };
-  for (uint32_t node = 0; node < n; ++node) {
-    for (const AlignmentGraph::Edge& edge : graph_->Out(node)) {
-      if (edge.rel_pair == AlignmentGraph::kTypeLabel) continue;
-      ensure_edge_bounds(graph_->pool()[node], graph_->pool()[edge.target],
-                         graph_->pool()[edge.rel_pair]);
+  {
+    obs::TraceSpan bounds_span("infer.edge_bounds", "infer");
+    for (uint32_t node = 0; node < n; ++node) {
+      for (const AlignmentGraph::Edge& edge : graph_->Out(node)) {
+        if (edge.rel_pair == AlignmentGraph::kTypeLabel) continue;
+        ensure_edge_bounds(graph_->pool()[node], graph_->pool()[edge.target],
+                           graph_->pool()[edge.rel_pair]);
+      }
     }
-  }
-  for (uint32_t node = 0; node < n; ++node) {
-    if (graph_->pool()[node].kind != ElementKind::kRelation) continue;
-    for (const auto& [from, to] : graph_->EdgesOfRelationPair(node)) {
-      ensure_edge_bounds(graph_->pool()[from], graph_->pool()[to],
-                         graph_->pool()[node]);
+    for (uint32_t node = 0; node < n; ++node) {
+      if (graph_->pool()[node].kind != ElementKind::kRelation) continue;
+      for (const auto& [from, to] : graph_->EdgesOfRelationPair(node)) {
+        ensure_edge_bounds(graph_->pool()[from], graph_->pool()[to],
+                           graph_->pool()[node]);
+      }
     }
   }
 
   // Phase 2: per-edge costs against the now read-only caches (parallel).
-  costs_.assign(n, {});
-  GlobalThreadPool().ParallelFor(n, [this](size_t node) {
-    const auto& out = graph_->Out(static_cast<uint32_t>(node));
-    auto& row = costs_[node];
-    row.resize(out.size());
-    for (size_t k = 0; k < out.size(); ++k) {
-      row[k] = ComputeEdgeCost(static_cast<uint32_t>(node), out[k]);
-    }
-  });
+  {
+    obs::TraceSpan costs_span("infer.edge_costs", "infer");
+    costs_.assign(n, {});
+    GlobalThreadPool().ParallelFor(n, [this](size_t node) {
+      const auto& out = graph_->Out(static_cast<uint32_t>(node));
+      auto& row = costs_[node];
+      row.resize(out.size());
+      for (size_t k = 0; k < out.size(); ++k) {
+        row[k] = ComputeEdgeCost(static_cast<uint32_t>(node), out[k]);
+      }
+    });
+  }
 
   cost_scale_ = 1.0f;
   if (config_.auto_calibrate_costs) {

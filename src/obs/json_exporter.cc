@@ -11,51 +11,15 @@ namespace daakg {
 namespace obs {
 namespace {
 
-// Escapes a metric name for use as a JSON string. Names are ASCII
-// identifiers by convention, so only the JSON structural characters need
-// handling.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// JSON has no Infinity/NaN literals; gauges should never hold them but a
-// caller Set(NaN) must not produce an unparseable file.
-std::string JsonNumber(double v) {
-  if (!std::isfinite(v)) return "0";
-  return StrFormat("%.9g", v);
-}
-
 void AppendHistogram(const Histogram& h, std::string* out) {
   out->append(StrFormat(
       "{\"count\": %llu, \"sum\": %s, \"min\": %s, \"max\": %s, "
-      "\"mean\": %s, \"buckets\": [",
+      "\"mean\": %s, \"p50\": %s, \"p95\": %s, \"p99\": %s, \"buckets\": [",
       static_cast<unsigned long long>(h.Count()), JsonNumber(h.Sum()).c_str(),
       JsonNumber(h.Min()).c_str(), JsonNumber(h.Max()).c_str(),
-      JsonNumber(h.Mean()).c_str()));
+      JsonNumber(h.Mean()).c_str(), JsonNumber(h.Quantile(0.5)).c_str(),
+      JsonNumber(h.Quantile(0.95)).c_str(),
+      JsonNumber(h.Quantile(0.99)).c_str()));
   bool first = true;
   for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
     const uint64_t count = h.BucketCount(i);

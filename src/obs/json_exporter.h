@@ -17,6 +17,7 @@ namespace obs {
 //     "histograms": {
 //       "daakg.active.pool_build_seconds": {
 //         "count": 5, "sum": 0.71, "min": 0.12, "max": 0.18, "mean": 0.142,
+//         "p50": 0.139, "p95": 0.177, "p99": 0.18,
 //         "buckets": [ { "le": 0.131072, "count": 3 },
 //                      { "le": "+Inf",   "count": 2 } ]
 //       }, ...

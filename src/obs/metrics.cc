@@ -66,6 +66,45 @@ void Histogram::Record(double value) {
   count_.fetch_add(1, std::memory_order_relaxed);
 }
 
+double Histogram::Quantile(double q) const {
+  // Snapshot the buckets once so concurrent Record()s cannot move the
+  // cumulative walk mid-scan; the snapshot is internally consistent enough
+  // for an estimate (same guarantee exporters already live with).
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  const double lo = Min();
+  const double hi = Max();
+  if (q <= 0.0) return lo;
+  if (q >= 1.0) return hi;
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < target) continue;
+    if (i + 1 == kNumBuckets) return hi;  // overflow bucket: no upper bound
+    const double frac = (target - before) / static_cast<double>(counts[i]);
+    double value;
+    if (i == 0) {
+      // Bucket 0 spans [0, kFirstUpperBound]: interpolate linearly, a
+      // geometric walk from a 0 lower bound is degenerate.
+      value = frac * kFirstUpperBound;
+    } else {
+      // Log-scale buckets: successive bounds differ by 2x, so the natural
+      // interpolation is geometric — lower * 2^frac sweeps the bucket.
+      value = BucketUpperBound(i - 1) * std::exp2(frac);
+    }
+    return std::min(hi, std::max(lo, value));
+  }
+  return hi;
+}
+
 double Histogram::Min() const {
   return Count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
 }

@@ -73,6 +73,11 @@ class Histogram {
   uint64_t BucketCount(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  // Estimated q-quantile (q in [0, 1]) by log-scale interpolation within the
+  // bucket holding the target rank: geometric between the bucket's bounds
+  // (linear in bucket 0, whose lower bound is 0), clamped to [Min(), Max()];
+  // ranks landing in the overflow bucket return Max(). 0 while Count() == 0.
+  double Quantile(double q) const;
   // Inclusive upper bound of bucket `i`; +infinity for the overflow bucket.
   static double BucketUpperBound(size_t i);
   // Index of the bucket `value` falls into.

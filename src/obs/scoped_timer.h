@@ -10,8 +10,14 @@ namespace daakg {
 namespace obs {
 
 // RAII phase span: records the elapsed wall time (seconds) into a histogram
-// when it goes out of scope. Typical use, with the handle hoisted so the
-// registry lookup happens once:
+// when it goes out of scope.
+//
+// NOTE: instrumented library phases use obs::TraceSpan (obs/trace.h), which
+// feeds the same histogram AND emits a trace event from a single clock-read
+// pair. ScopedTimer remains for metric-only call sites outside the traced
+// pipeline (and as the simplest possible timer for tests/tools).
+//
+// Typical use, with the handle hoisted so the registry lookup happens once:
 //
 //   static Histogram* timing =
 //       GlobalMetrics().GetHistogram("daakg.active.pool_build_seconds");

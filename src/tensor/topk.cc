@@ -5,7 +5,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
-#include "obs/scoped_timer.h"
+#include "obs/trace.h"
 
 namespace daakg {
 namespace {
@@ -153,7 +153,7 @@ SimTopK BlockedSimTopK(const Matrix& a, const Matrix& b, size_t row_k,
       obs::GlobalMetrics().GetHistogram("daakg.tensor.sim_topk_seconds");
   static obs::Counter* cells =
       obs::GlobalMetrics().GetCounter("daakg.tensor.sim_cells");
-  obs::ScopedTimer span(timing);
+  obs::TraceSpan span("tensor.sim_topk", "tensor", timing);
 
   DAAKG_CHECK_EQ(a.cols(), b.cols());
   const simd::Ops& ops = simd::Resolve(options.backend);
@@ -243,7 +243,7 @@ void BlockedMatMulNTRows(const Matrix& a, const Matrix& b, size_t row_begin,
       obs::GlobalMetrics().GetHistogram("daakg.tensor.matmul_nt_seconds");
   static obs::Counter* cells =
       obs::GlobalMetrics().GetCounter("daakg.tensor.sim_cells");
-  obs::ScopedTimer span(timing);
+  obs::TraceSpan span("tensor.matmul_nt", "tensor", timing);
 
   DAAKG_CHECK_EQ(a.cols(), b.cols());
   DAAKG_CHECK_EQ(out->rows(), a.rows());

@@ -1,17 +1,25 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/file_util.h"
 #include "common/thread_pool.h"
+#include "core/active_loop.h"
+#include "core/daakg.h"
 #include "obs/json_exporter.h"
 #include "obs/metrics.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
+#include "tests/test_util.h"
 
 namespace daakg {
 namespace obs {
@@ -256,6 +264,73 @@ TEST(HistogramTest, NegativeAndNonFiniteCountAsZero) {
   EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
 }
 
+TEST(HistogramTest, QuantileInterpolatesLogBuckets) {
+  // One sample in bucket 1 ((1e-6, 2e-6]) and one in bucket 2 ((2e-6, 4e-6]):
+  // p50 lands exactly at bucket 1's upper boundary (frac = 1.0 sweeps the
+  // whole bucket geometrically: 1e-6 * 2^1 = 2e-6).
+  {
+    Histogram h;
+    h.Record(1.5e-6);
+    h.Record(3e-6);
+    EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2e-6);
+    // p75: target 1.5 falls halfway through bucket 2 -> 2e-6 * 2^0.5.
+    EXPECT_DOUBLE_EQ(h.Quantile(0.75), 2e-6 * std::exp2(0.5));
+  }
+  // Four samples in bucket 3 ((4e-6, 8e-6]): p50 is the geometric midpoint
+  // of the bucket, 4e-6 * 2^0.5, inside the observed [5e-6, 6e-6] range so
+  // min/max clamping does not bite.
+  {
+    Histogram h;
+    h.Record(5e-6);
+    h.Record(5e-6);
+    h.Record(6e-6);
+    h.Record(6e-6);
+    EXPECT_DOUBLE_EQ(h.Quantile(0.5), 4e-6 * std::exp2(0.5));
+  }
+  // Bucket 0 ([0, 1e-6]) interpolates linearly: two samples, p50 target 1.0
+  // is half of the bucket's population -> 0.5 * 1e-6.
+  {
+    Histogram h;
+    h.Record(0.0);
+    h.Record(1e-6);
+    EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.5e-6);
+  }
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  Histogram h;
+  h.Record(1.5e-6);
+  h.Record(3e-6);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), h.Min());
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Min());
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), h.Max());
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Max());
+
+  // A single sample: interpolation would overshoot to the bucket boundary
+  // (2e-6), but the estimate is clamped to the observed range.
+  Histogram single;
+  single.Record(1.5e-6);
+  EXPECT_DOUBLE_EQ(single.Quantile(0.5), 1.5e-6);
+
+  // Overflow bucket has no upper bound: quantiles landing there report Max.
+  Histogram overflow;
+  overflow.Record(1e12);
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.5), 1e12);
+
+  // Quantiles are monotone in q.
+  Histogram many;
+  for (int i = 1; i <= 100; ++i) many.Record(static_cast<double>(i) * 1e-4);
+  double prev = many.Quantile(0.0);
+  for (double q = 0.1; q <= 1.0; q += 0.1) {
+    const double cur = many.Quantile(q);
+    EXPECT_GE(cur, prev) << "q=" << q;
+    prev = cur;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 // ---------------------------------------------------------------------------
@@ -405,6 +480,28 @@ TEST(JsonExporterTest, RoundTripsValues) {
   EXPECT_TRUE(saw_overflow);
 }
 
+TEST(JsonExporterTest, ExportsQuantiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("daakg.test.quantile_seconds");
+  for (int i = 1; i <= 20; ++i) h->Record(static_cast<double>(i) * 1e-3);
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(MetricsToJson(registry)).Parse(&root));
+  const JsonValue& hist =
+      root.at("histograms").at("daakg.test.quantile_seconds");
+  // The exporter serializes Quantile(q) with %.9g: exact to 9 significant
+  // digits, so compare with a matching relative tolerance.
+  EXPECT_NEAR(hist.at("p50").number, h->Quantile(0.5),
+              1e-8 * h->Quantile(0.5));
+  EXPECT_NEAR(hist.at("p95").number, h->Quantile(0.95),
+              1e-8 * h->Quantile(0.95));
+  EXPECT_NEAR(hist.at("p99").number, h->Quantile(0.99),
+              1e-8 * h->Quantile(0.99));
+  EXPECT_LE(hist.at("p50").number, hist.at("p95").number);
+  EXPECT_LE(hist.at("p95").number, hist.at("p99").number);
+  EXPECT_LE(hist.at("p99").number, hist.at("max").number);
+}
+
 TEST(JsonExporterTest, EscapesNames) {
   MetricsRegistry registry;
   registry.GetCounter("weird\"name\\with\njunk")->Increment();
@@ -419,6 +516,371 @@ TEST(GlobalMetricsTest, IsSingleton) {
   // touching one name here must not perturb others.
   GlobalMetrics().GetCounter("daakg.test.obs_test_marker")->Increment();
   EXPECT_GE(GlobalMetrics().Counters().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Structured tracing
+// ---------------------------------------------------------------------------
+
+// Every trace test leaves the global session stopped; this guard also makes
+// each test robust to an unexpectedly active session (e.g. DAAKG_TRACE set
+// in the test environment).
+void EnsureNoActiveSession() {
+  if (TraceSession::Global().active()) TraceSession::Global().Stop();
+}
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  EnsureNoActiveSession();
+  {
+    TraceSpan span("trace_disabled", "test");
+    EXPECT_EQ(span.id(), 0u);
+    span.AddArg("ignored", 1.0);           // no-op when idle
+    EXPECT_DOUBLE_EQ(span.Finish(), 0.0);  // kLazy: no clock was read
+  }
+  EXPECT_TRUE(TraceSession::Global().Stop().empty());
+}
+
+TEST(TraceTest, TimerOnlyModeStillRecordsHistogramWhenDisabled) {
+  EnsureNoActiveSession();
+  Histogram h;
+  double seconds = -1.0;
+  {
+    TraceSpan span("trace_timer_only", "test", &h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    seconds = span.Finish();
+  }
+  EXPECT_EQ(h.Count(), 1u);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_DOUBLE_EQ(h.Sum(), seconds);
+  // kAlways reads the clock even with no histogram attached.
+  TraceSpan always("trace_always", "test", nullptr, TimingMode::kAlways);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GT(always.Finish(), 0.0);
+}
+
+TEST(TraceTest, RecordsNestedSpans) {
+  EnsureNoActiveSession();
+  ASSERT_TRUE(TraceSession::Global().Start().ok());
+  uint64_t outer_id = 0;
+  uint64_t inner_id = 0;
+  {
+    TraceSpan outer("trace_nest_outer", "test");
+    outer_id = outer.id();
+    {
+      TraceSpan inner("trace_nest_inner", "test");
+      inner.AddArg("depth", 2.0);
+      inner_id = inner.id();
+    }
+  }
+  std::vector<TraceEvent> events = TraceSession::Global().Stop();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(outer_id, 0u);
+  EXPECT_NE(inner_id, 0u);
+  // Stop() sorts by start time: outer first.
+  EXPECT_STREQ(events[0].name, "trace_nest_outer");
+  EXPECT_STREQ(events[0].cat, "test");
+  EXPECT_EQ(events[0].id, outer_id);
+  EXPECT_EQ(events[0].parent_id, 0u);
+  EXPECT_STREQ(events[1].name, "trace_nest_inner");
+  EXPECT_EQ(events[1].id, inner_id);
+  EXPECT_EQ(events[1].parent_id, outer_id);
+  ASSERT_EQ(events[1].num_args, 1u);
+  EXPECT_STREQ(events[1].args[0].key, "depth");
+  EXPECT_DOUBLE_EQ(events[1].args[0].value, 2.0);
+  // Temporal containment: the inner span starts and ends within the outer.
+  EXPECT_GE(events[1].ts_ns, events[0].ts_ns);
+  EXPECT_LE(events[1].ts_ns + events[1].dur_ns,
+            events[0].ts_ns + events[0].dur_ns);
+}
+
+TEST(TraceTest, FusedHistogramMatchesTraceDurationBitForBit) {
+  EnsureNoActiveSession();
+  ASSERT_TRUE(TraceSession::Global().Start().ok());
+  Histogram h;
+  double seconds = -1.0;
+  {
+    TraceSpan span("trace_fused", "test", &h);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    seconds = span.Finish();
+  }
+  std::vector<TraceEvent> events = TraceSession::Global().Stop();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(h.Count(), 1u);
+  // One clock-read pair feeds both sinks: the histogram sample, Finish()'s
+  // return value, and the trace duration are the same number, exactly.
+  EXPECT_DOUBLE_EQ(h.Sum(), static_cast<double>(events[0].dur_ns) * 1e-9);
+  EXPECT_DOUBLE_EQ(seconds, h.Sum());
+}
+
+TEST(TraceTest, ParallelForSpansNestUnderEnqueuingSpan) {
+  EnsureNoActiveSession();
+  ASSERT_TRUE(TraceSession::Global().Start().ok());
+  uint64_t outer_id = 0;
+  constexpr size_t kIters = 64;
+  {
+    // The pool is destroyed (workers joined) before Stop(): a pool.task
+    // event is emitted by the task_end hook, which can run after
+    // ParallelFor returns — only the join makes its collection
+    // deterministic.
+    ThreadPool pool(4);
+    TraceSpan outer("trace_fanout_outer", "test");
+    outer_id = outer.id();
+    pool.ParallelFor(kIters, [](size_t) {
+      TraceSpan inner("trace_fanout_work", "test");
+    });
+    outer.Finish();
+  }
+  std::vector<TraceEvent> events = TraceSession::Global().Stop();
+  std::set<uint64_t> task_ids;
+  size_t num_tasks = 0;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "pool.task") {
+      // Synthetic pool-task spans are parented to the span that submitted
+      // the work, whichever thread runs them.
+      EXPECT_EQ(e.parent_id, outer_id);
+      task_ids.insert(e.id);
+      ++num_tasks;
+    }
+  }
+  // 4 shards: shard 0 runs inline on the caller, shards 1..3 are submitted
+  // as pool tasks (the caller may help-drain them, which still goes through
+  // the task hooks).
+  EXPECT_EQ(num_tasks, 3u);
+  size_t num_work = 0;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) != "trace_fanout_work") continue;
+    ++num_work;
+    // Inline shard 0 iterations parent to the outer span directly; the rest
+    // parent to their shard's pool.task span.
+    EXPECT_TRUE(e.parent_id == outer_id || task_ids.count(e.parent_id) > 0)
+        << "unparented work span " << e.id;
+  }
+  EXPECT_EQ(num_work, kIters);
+}
+
+TEST(TraceTest, ConcurrentSpanEmissionIsSafe) {
+  EnsureNoActiveSession();
+  ASSERT_TRUE(TraceSession::Global().Start().ok());
+  ThreadPool pool(4);
+  constexpr size_t kIters = 2000;
+  pool.ParallelFor(kIters, [](size_t i) {
+    TraceSpan span("trace_concurrent", "test");
+    span.AddArg("i", static_cast<double>(i));
+  });
+  std::vector<TraceEvent> events = TraceSession::Global().Stop();
+  size_t num_work = 0;
+  std::set<uint64_t> ids;
+  for (const TraceEvent& e : events) {
+    EXPECT_TRUE(ids.insert(e.id).second) << "duplicate span id " << e.id;
+    if (std::string(e.name) == "trace_concurrent") ++num_work;
+  }
+  EXPECT_EQ(num_work, kIters);
+  EXPECT_EQ(TraceSession::Global().dropped_last_session(), 0u);
+}
+
+TEST(TraceTest, StartStopRacesWithEmittersAreSafe) {
+  EnsureNoActiveSession();
+  // An emitter hammers span creation while the main thread cycles tiny
+  // sessions: stragglers from a previous generation must never corrupt or
+  // leak into a later session's collection. (Also in the TSan CI leg.)
+  std::atomic<bool> stop{false};
+  std::thread emitter([&stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      TraceSpan span("trace_race", "test");
+      span.AddArg("x", 1.0);
+    }
+  });
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    ASSERT_TRUE(TraceSession::Global().Start(/*events_per_thread=*/64).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::vector<TraceEvent> events = TraceSession::Global().Stop();
+    for (const TraceEvent& e : events) {
+      EXPECT_STREQ(e.name, "trace_race");
+      EXPECT_NE(e.id, 0u);
+    }
+  }
+  stop.store(true);
+  emitter.join();
+}
+
+TEST(TraceTest, DropPolicyKeepsOldestAndCountsDrops) {
+  EnsureNoActiveSession();
+  ASSERT_TRUE(TraceSession::Global().Start(/*events_per_thread=*/4).ok());
+  std::vector<uint64_t> first_ids;
+  for (int i = 0; i < 20; ++i) {
+    TraceSpan span("trace_drop", "test");
+    if (i < 4) first_ids.push_back(span.id());
+  }
+  std::vector<TraceEvent> events = TraceSession::Global().Stop();
+  // Drop-newest: the first 4 spans survive, the remaining 16 are counted.
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, first_ids[i]);
+  }
+  EXPECT_EQ(TraceSession::Global().dropped_last_session(), 16u);
+}
+
+TEST(TraceTest, SessionRestartSeparatesEvents) {
+  EnsureNoActiveSession();
+  ASSERT_TRUE(TraceSession::Global().Start().ok());
+  { TraceSpan span("trace_session_a", "test"); }
+  std::vector<TraceEvent> first = TraceSession::Global().Stop();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_STREQ(first[0].name, "trace_session_a");
+
+  ASSERT_TRUE(TraceSession::Global().Start().ok());
+  { TraceSpan span("trace_session_b", "test"); }
+  std::vector<TraceEvent> second = TraceSession::Global().Stop();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_STREQ(second[0].name, "trace_session_b");
+}
+
+TEST(TraceTest, StartValidatesAndRejectsDoubleStart) {
+  EnsureNoActiveSession();
+  EXPECT_EQ(TraceSession::Global().Start(0).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(TraceSession::Global().Start().ok());
+  EXPECT_TRUE(TraceSession::Global().active());
+  EXPECT_EQ(TraceSession::Global().Start().code(),
+            StatusCode::kFailedPrecondition);
+  TraceSession::Global().Stop();
+  EXPECT_FALSE(TraceSession::Global().active());
+}
+
+// End-to-end acceptance check: a full active-alignment run under a live
+// session must export Chrome trace-event JSON that (a) parses, (b) carries
+// spans from every major subsystem, and (c) nests children within their
+// parents' time ranges.
+TEST(TraceTest, ExportsValidChromeTraceJsonFromActiveLoop) {
+  EnsureNoActiveSession();
+  ASSERT_TRUE(TraceSession::Global().Start().ok());
+
+  AlignmentTask task = testing_util::SmallSyntheticTask();
+  DaakgConfig dcfg;
+  dcfg.kge_model = KgeModelKind::kTransE;
+  dcfg.kge.dim = 16;
+  dcfg.kge.class_dim = 8;
+  dcfg.kge.epochs = 8;
+  dcfg.align.align_epochs = 25;
+  dcfg.align.joint_epochs_per_round = 2;
+  dcfg.fine_tune_epochs = 4;
+  DaakgAligner aligner(&task, dcfg);
+  GoldOracle oracle(&task);
+  RandomStrategy strategy;
+  ActiveLoopConfig cfg;
+  cfg.batch_size = 30;
+  cfg.initial_seed_fraction = 0.05;
+  cfg.report_fractions = {0.1, 0.2};
+  cfg.pool.top_n = 10;
+  ActiveAlignmentLoop loop(&task, &aligner, &strategy, &oracle, cfg);
+  ASSERT_EQ(loop.Run().size(), 2u);
+
+  const std::string path = ::testing::TempDir() + "daakg_trace_test.json";
+  ASSERT_TRUE(TraceSession::Global().StopAndWriteJson(path).ok());
+  auto content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok()) << content.status();
+  std::remove(path.c_str());
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(content.value()).Parse(&root));
+  EXPECT_EQ(root.at("displayTimeUnit").str, "ms");
+  const JsonValue& trace_events = root.at("traceEvents");
+  ASSERT_EQ(trace_events.kind, JsonValue::kArray);
+  ASSERT_GT(trace_events.array.size(), 1u);
+
+  // First pass: index complete ("X") events by span id.
+  struct Window {
+    double ts = 0.0;
+    double dur = 0.0;
+  };
+  std::map<double, Window> by_id;
+  std::set<std::string> cats;
+  for (const JsonValue& e : trace_events.array) {
+    if (e.at("ph").str != "X") continue;
+    cats.insert(e.at("cat").str);
+    EXPECT_FALSE(e.at("name").str.empty());
+    EXPECT_GE(e.at("dur").number, 0.0);
+    EXPECT_GE(e.at("tid").number, 1.0);
+    const JsonValue& args = e.at("args");
+    by_id[args.at("span_id").number] = Window{e.at("ts").number,
+                                              e.at("dur").number};
+  }
+  // Spans from every major subsystem must be present.
+  for (const char* cat :
+       {"embedding", "align", "index", "active", "infer", "core"}) {
+    EXPECT_EQ(cats.count(cat), 1u) << "no spans with cat=" << cat;
+  }
+
+  // Second pass: every child with a surviving parent nests inside it
+  // (tolerance covers the exporter's 3-decimal microsecond rounding).
+  // pool.task spans are exempt: their end timestamp comes from the
+  // task_end hook, which can run a hair after the submitting span (the
+  // completion handshake happens inside the task body), so they may
+  // overshoot their parent's window by scheduling noise.
+  constexpr double kEpsUs = 0.01;
+  size_t nested = 0;
+  for (const JsonValue& e : trace_events.array) {
+    if (e.at("ph").str != "X") continue;
+    if (e.at("name").str == "pool.task") continue;
+    const JsonValue& args = e.at("args");
+    const double parent_id = args.at("parent_span_id").number;
+    if (parent_id == 0.0) continue;
+    auto it = by_id.find(parent_id);
+    if (it == by_id.end()) continue;  // parent dropped (buffer full)
+    ++nested;
+    const double ts = e.at("ts").number;
+    const double end = ts + e.at("dur").number;
+    EXPECT_GE(ts, it->second.ts - kEpsUs);
+    EXPECT_LE(end, it->second.ts + it->second.dur + kEpsUs);
+  }
+  EXPECT_GT(nested, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-pool telemetry
+// ---------------------------------------------------------------------------
+
+TEST(PoolTelemetryTest, CountersAndGauge) {
+  Counter* submitted =
+      GlobalMetrics().GetCounter("daakg.pool.tasks_submitted");
+  Counter* executed = GlobalMetrics().GetCounter("daakg.pool.tasks_executed");
+  Counter* drained =
+      GlobalMetrics().GetCounter("daakg.pool.help_drained_tasks");
+  Gauge* depth = GlobalMetrics().GetGauge("daakg.pool.queue_depth");
+  const uint64_t submitted0 = submitted->Value();
+  const uint64_t executed0 = executed->Value();
+  const uint64_t drained0 = drained->Value();
+
+  ThreadPool pool(1);
+  // Park the lone worker on a flag so every queued task below can only be
+  // help-drained by the caller's Wait().
+  std::atomic<bool> worker_parked{false};
+  std::atomic<bool> release{false};
+  pool.Submit([&worker_parked, &release] {
+    worker_parked.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!worker_parked.load()) std::this_thread::yield();
+
+  constexpr int kTasks = 8;
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&ran, &release] {
+      // The last help-drained task unparks the worker.
+      if (ran.fetch_add(1) + 1 == kTasks) release.store(true);
+    });
+  }
+  pool.Wait();
+
+  EXPECT_EQ(ran.load(), kTasks);
+  EXPECT_EQ(submitted->Value() - submitted0,
+            static_cast<uint64_t>(kTasks) + 1);
+  EXPECT_EQ(executed->Value() - executed0, static_cast<uint64_t>(kTasks) + 1);
+  // The worker was parked until the last task ran, so the caller drained
+  // all of them.
+  EXPECT_EQ(drained->Value() - drained0, static_cast<uint64_t>(kTasks));
+  // The queue is empty again; the gauge tracked it back down.
+  EXPECT_DOUBLE_EQ(depth->Value(), 0.0);
 }
 
 }  // namespace
